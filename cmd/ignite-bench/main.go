@@ -1,0 +1,68 @@
+// Command ignite-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ignite-bench -exp all                # every experiment, all 20 functions
+//	ignite-bench -exp fig8,fig9a         # selected experiments
+//	ignite-bench -exp fig3 -workloads Auth-G,Curr-N -parallel 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ignite/internal/experiments"
+	"ignite/internal/workload"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+strings.Join(experiments.IDs(), ",")+")")
+	wlFlag := flag.String("workloads", "", "comma-separated function names (default: all 20)")
+	parFlag := flag.Int("parallel", 0, "parallel workload simulations (default: NumCPU)")
+	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-6s %s\n", id, experiments.Title(id))
+		}
+		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
+		return
+	}
+
+	opt := experiments.Options{Parallel: *parFlag}
+	if *wlFlag != "" {
+		for _, name := range strings.Split(*wlFlag, ",") {
+			spec, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opt.Workloads = append(opt.Workloads, spec)
+		}
+	}
+
+	var ids []string
+	if *expFlag == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,91 @@
+// Command ignite-sim runs a single (function, configuration) simulation
+// under the lukewarm protocol and prints detailed statistics.
+//
+// Usage:
+//
+//	ignite-sim -fn Auth-G -config ignite
+//	ignite-sim -fn Curr-N -config boomerang+jb -mode back-to-back
+//	ignite-sim -show-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ignite/internal/experiments"
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
+	"ignite/internal/workload"
+)
+
+func main() {
+	fnFlag := flag.String("fn", "Auth-G", "function name (see -list)")
+	cfgFlag := flag.String("config", "nl", "front-end configuration (nl, fdp, boomerang, jukebox, boomerang+jb, confluence, ignite, ignite+tage, confluence+ignite, ideal)")
+	modeFlag := flag.String("mode", "interleaved", "inter-invocation mode: interleaved or back-to-back")
+	listFlag := flag.Bool("list", false, "list functions and configurations")
+	showCfg := flag.Bool("show-config", false, "print the simulated core parameters (Table 2)")
+	flag.Parse()
+
+	if *showCfg {
+		res, err := experiments.Run("tab2", experiments.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		return
+	}
+	if *listFlag {
+		fmt.Println("functions:")
+		for _, s := range workload.All() {
+			fmt.Printf("  %-8s %-36s %s\n", s.Name, s.FullName, s.Lang)
+		}
+		fmt.Println("configurations:")
+		for _, k := range sim.Kinds() {
+			fmt.Printf("  %s\n", k)
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*fnFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mode := lukewarm.Interleaved
+	if *modeFlag == "back-to-back" || *modeFlag == "b2b" {
+		mode = lukewarm.BackToBack
+	}
+
+	setup, err := sim.New(spec, sim.Kind(*cfgFlag), sim.Tweaks{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := setup.Run(mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	st := res.CPIStack()
+	fmt.Printf("%s / %s / %s\n", spec.Name, *cfgFlag, mode)
+	fmt.Printf("  instructions   %d (over %d measured invocations)\n", res.Instrs(), len(res.PerInvocation))
+	fmt.Printf("  CPI            %.3f\n", res.CPI())
+	fmt.Printf("    retiring     %.3f\n", st.Retiring)
+	fmt.Printf("    fetch-bound  %.3f\n", st.Fetch)
+	fmt.Printf("    bad-spec     %.3f\n", st.BadSpec)
+	fmt.Printf("    backend      %.3f\n", st.Backend)
+	fmt.Printf("  L1-I MPKI      %.2f (off-chip %.2f)\n", res.L1IMPKI(), res.OffChipMPKI())
+	fmt.Printf("  BTB MPKI       %.2f\n", res.BTBMPKI())
+	fmt.Printf("  CBP MPKI       %.2f (initial %.2f)\n", res.CBPMPKI(), res.InitialCBPMPKI())
+	fmt.Printf("  BPU MPKI       %.2f\n", res.BPUMPKI())
+	tr := res.MeanTraffic()
+	fmt.Printf("  DRAM traffic   useful %d B, useless %d B, record %d B, replay %d B\n",
+		tr.UsefulInstrBytes, tr.UselessInstrBytes, tr.RecordMetaBytes, tr.ReplayMetaBytes)
+	if setup.Ignite != nil {
+		fmt.Printf("  ignite         %v, %d records, %d B metadata\n",
+			setup.Ignite.Regs().ReplayEnable, setup.Ignite.Recorder().Records(), setup.Ignite.MetadataUsed())
+	}
+}

@@ -1,0 +1,88 @@
+// Command ignite-trace records one lukewarm invocation of a function and
+// dumps the resulting Ignite metadata stream in human-readable form —
+// useful for inspecting what the replay will restore.
+//
+// Usage:
+//
+//	ignite-trace -fn Auth-G -n 20        # first 20 records
+//	ignite-trace -fn AES-P -summary      # stream statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ignite/internal/cfg"
+	"ignite/internal/engine"
+	"ignite/internal/ignite"
+	"ignite/internal/memsys"
+	"ignite/internal/workload"
+)
+
+func main() {
+	fnFlag := flag.String("fn", "Auth-G", "function name")
+	nFlag := flag.Int("n", 32, "records to dump (0 = none)")
+	seedFlag := flag.Uint64("seed", 1, "invocation seed")
+	summary := flag.Bool("summary", false, "print stream statistics only")
+	flag.Parse()
+
+	spec, err := workload.ByName(*fnFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prog, _, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	eng := engine.New(prog, engine.DefaultConfig())
+	codec := ignite.DefaultCodecConfig()
+	region := memsys.NewRegion(0x7f00_0000_0000, ignite.MaxMetadataBytes)
+	rec := ignite.NewRecorder(codec, region, nil)
+	rec.Attach(eng.BTB())
+	rec.Start()
+	eng.Thrash(*seedFlag)
+	if _, err := eng.RunInvocation(engine.InvocationOptions{Seed: *seedFlag, MaxInstr: spec.MaxInstr()}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rec.Stop()
+
+	fmt.Printf("# %s seed=%d: %d records (%d compact, %d dropped), %d bytes, %.1f bits/record\n",
+		spec.Name, *seedFlag, rec.Records(), rec.CompactRecords(), rec.Dropped,
+		region.Used(), float64(region.Used()*8)/float64(max(rec.Records(), 1)))
+	if *summary {
+		kinds := map[cfg.BranchKind]int{}
+		decodeAll(codec, region, func(i int, r ignite.Record) { kinds[r.Kind]++ })
+		for _, k := range []cfg.BranchKind{cfg.BranchCond, cfg.BranchUncond, cfg.BranchCall,
+			cfg.BranchReturn, cfg.BranchIndirectJump, cfg.BranchIndirectCall} {
+			fmt.Printf("  %-8v %d\n", k, kinds[k])
+		}
+		return
+	}
+	prev := uint64(0)
+	decodeAll(codec, region, func(i int, r ignite.Record) {
+		if *nFlag != 0 && i >= *nFlag {
+			return
+		}
+		delta := int64(r.BranchPC) - int64(prev)
+		fmt.Printf("%6d  pc=%#012x  tgt=%#012x  %-7v Δprev=%+d\n",
+			i, r.BranchPC, r.Target, r.Kind, delta)
+		prev = r.Target
+	})
+}
+
+func decodeAll(codec ignite.CodecConfig, region *memsys.Region, fn func(int, ignite.Record)) {
+	region.ResetRead()
+	dec := ignite.NewDecoder(codec, region)
+	for i := 0; ; i++ {
+		r, ok, err := dec.Decode()
+		if err != nil || !ok {
+			return
+		}
+		fn(i, r)
+	}
+}

@@ -1,0 +1,36 @@
+// Command workload-stats characterizes the 20 synthetic serverless
+// functions: static program shape and per-invocation working sets (the
+// paper's Table 1 + Figure 2 data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ignite/internal/stats"
+	"ignite/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "invocation seed for working-set measurement")
+	flag.Parse()
+
+	t := stats.NewTable("Workload characterization",
+		"function", "runtime", "static KiB", "funcs", "instr WS KiB", "branch WS", "dyn instrs", "dyn branches")
+	for _, s := range workload.All() {
+		prog, rep, err := s.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ws, err := workload.MeasureWorkingSet(prog, *seed, s.MaxInstr())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t.AddRowf(s.Name, s.Lang.String(), rep.CodeBytes/1024, rep.NumFuncs,
+			float64(ws.InstrBytes)/1024, ws.BTBEntries, ws.DynInstr, ws.DynBranches)
+	}
+	fmt.Println(t.String())
+}

@@ -1,0 +1,52 @@
+// Prefetchers compares the full front-end prefetcher ladder on one
+// function: the next-line baseline, fetch-directed prefetching, Boomerang,
+// Jukebox, their combination, Confluence, Ignite and the ideal front end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
+	"ignite/internal/stats"
+	"ignite/internal/workload"
+)
+
+func main() {
+	name := "Pay-N"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, _, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Lukewarm invocations of %s", spec.Name),
+		"config", "CPI", "speedup", "L1I MPKI", "BTB MPKI", "CBP MPKI", "off-chip MPKI")
+	var nlCPI float64
+	for _, kind := range sim.Kinds() {
+		setup, err := sim.NewWithProgram(spec, prog, kind, sim.Tweaks{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := setup.Run(lukewarm.Interleaved)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if kind == sim.KindNL {
+			nlCPI = res.CPI()
+		}
+		t.AddRowf(string(kind), res.CPI(), nlCPI/res.CPI(),
+			res.L1IMPKI(), res.BTBMPKI(), res.CBPMPKI(), res.OffChipMPKI())
+	}
+	fmt.Println(t.String())
+	fmt.Println("Note how Boomerang fills the BTB but the cold conditional predictor")
+	fmt.Println("still caps it, while Ignite restores instructions, BTB and BIM together.")
+}

@@ -1,0 +1,3 @@
+module ignite
+
+go 1.22

@@ -1,0 +1,98 @@
+package bpred
+
+// LoopPredictor captures loops with stable trip counts: after observing the
+// same taken-run length (trip count) several times for a branch, it predicts
+// the exit (not-taken) on the final iteration — the L in L-TAGE.
+type LoopPredictor struct {
+	entries []loopEntry
+	mask    uint64
+}
+
+type loopEntry struct {
+	tag     uint16
+	trip    uint16 // learned taken-run length before the not-taken exit
+	current uint16 // taken count in the current execution of the loop
+	conf    uint8  // confirmations of the same trip count
+	valid   bool
+	age     uint8
+}
+
+const loopConfident = 3
+
+// NewLoopPredictor creates a direct-mapped loop predictor with n entries
+// (rounded to a power of two, minimum 16).
+func NewLoopPredictor(n int) *LoopPredictor {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &LoopPredictor{entries: make([]loopEntry, size), mask: uint64(size - 1)}
+}
+
+func (l *LoopPredictor) slot(pc uint64) (*loopEntry, uint16) {
+	w := pc >> 2
+	idx := (w ^ w>>9) & l.mask
+	tag := uint16((w >> 5) & 0x3ff)
+	return &l.entries[idx], tag
+}
+
+// Predict returns (prediction, confident). Callers use the prediction only
+// when confident.
+func (l *LoopPredictor) Predict(pc uint64) (taken, confident bool) {
+	e, tag := l.slot(pc)
+	if !e.valid || e.tag != tag || e.conf < loopConfident {
+		return false, false
+	}
+	// Predict taken until the learned trip count is reached, then exit.
+	return e.current < e.trip, true
+}
+
+// Update trains the entry with the actual outcome of the loop branch
+// (taken = another iteration, not-taken = exit).
+func (l *LoopPredictor) Update(pc uint64, taken bool) {
+	e, tag := l.slot(pc)
+	if !e.valid || e.tag != tag {
+		// Allocate on a not-taken observation is useless; start
+		// tracking on taken.
+		if taken {
+			*e = loopEntry{tag: tag, valid: true, current: 1}
+		}
+		return
+	}
+	if taken {
+		if e.current < 0xffff {
+			e.current++
+		}
+		return
+	}
+	// Loop exit: compare the observed run with the learned trip count.
+	if e.current == e.trip && e.trip > 0 {
+		if e.conf < 7 {
+			e.conf++
+		}
+	} else {
+		e.trip = e.current
+		e.conf = 0
+	}
+	e.current = 0
+}
+
+// Flush clears all entries.
+func (l *LoopPredictor) Flush() {
+	for i := range l.entries {
+		l.entries[i] = loopEntry{}
+	}
+}
+
+// Snapshot deep-copies the loop predictor state.
+func (l *LoopPredictor) Snapshot() []loopEntry {
+	return append([]loopEntry(nil), l.entries...)
+}
+
+// Restore reinstates a snapshot.
+func (l *LoopPredictor) Restore(snap []loopEntry) {
+	if len(snap) != len(l.entries) {
+		panic("bpred: loop predictor snapshot size mismatch")
+	}
+	copy(l.entries, snap)
+}

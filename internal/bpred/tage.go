@@ -1,0 +1,328 @@
+package bpred
+
+import "math/rand/v2"
+
+// TAGE is a tagged-geometric-history-length predictor (Seznec) layered over
+// a bimodal base. Six tagged tables with geometrically increasing history
+// lengths; standard provider/alternate selection, usefulness counters, and
+// allocation-on-mispredict with periodic usefulness aging.
+type TAGE struct {
+	base *Bimodal
+
+	tables   [][]tageEntry
+	histLens []int
+	tagBits  uint
+	idxBits  uint
+
+	// Global history as a circular bit buffer plus folded registers.
+	ghist   []uint8
+	ghead   int
+	foldIdx []foldedReg
+	foldTag []foldedReg
+	fold2   []foldedReg // second tag fold (different width) for decorrelation
+
+	useAltOnNA int8 // 4-bit counter choosing alt over weak newly-allocated providers
+	allocRNG   rand.Rand
+	tick       int // usefulness aging clock
+}
+
+type tageEntry struct {
+	tag uint16
+	ctr int8  // 3-bit signed [-4,3]; >=0 predicts taken
+	u   uint8 // 2-bit usefulness
+}
+
+// foldedReg maintains a cyclic-shift-register fold of the most recent
+// histLen history bits down to width bits.
+type foldedReg struct {
+	val     uint32
+	width   uint
+	histLen int
+}
+
+func (f *foldedReg) update(newBit, oldBit uint8) {
+	f.val = (f.val << 1) | uint32(newBit)
+	// Remove the bit that falls out of the history window.
+	f.val ^= uint32(oldBit) << (uint(f.histLen) % f.width)
+	f.val ^= f.val >> f.width
+	f.val &= (1 << f.width) - 1
+}
+
+// TAGEConfig sizes the predictor.
+type TAGEConfig struct {
+	HistLens  []int
+	TableBits uint // log2 entries per tagged table
+	TagBits   uint
+}
+
+// DefaultTAGEConfig approximates the paper's 64 KiB L-TAGE budget: six
+// 4K-entry tables with 11-bit tags (~48 KiB of tagged state).
+func DefaultTAGEConfig() TAGEConfig {
+	return TAGEConfig{
+		HistLens:  []int{4, 9, 19, 40, 84, 160},
+		TableBits: 12,
+		TagBits:   11,
+	}
+}
+
+// NewTAGE builds a TAGE predictor over the given bimodal base.
+func NewTAGE(base *Bimodal, cfg TAGEConfig) *TAGE {
+	if len(cfg.HistLens) == 0 {
+		cfg = DefaultTAGEConfig()
+	}
+	maxHist := cfg.HistLens[len(cfg.HistLens)-1]
+	t := &TAGE{
+		base:     base,
+		histLens: append([]int(nil), cfg.HistLens...),
+		tagBits:  cfg.TagBits,
+		idxBits:  cfg.TableBits,
+		ghist:    make([]uint8, maxHist+1),
+		allocRNG: *rand.New(rand.NewPCG(0x1905, 0x7a6e5d4c3b2a1908)),
+	}
+	t.tables = make([][]tageEntry, len(cfg.HistLens))
+	for i := range t.tables {
+		t.tables[i] = make([]tageEntry, 1<<cfg.TableBits)
+	}
+	t.foldIdx = make([]foldedReg, len(cfg.HistLens))
+	t.foldTag = make([]foldedReg, len(cfg.HistLens))
+	t.fold2 = make([]foldedReg, len(cfg.HistLens))
+	for i, hl := range cfg.HistLens {
+		t.foldIdx[i] = foldedReg{width: cfg.TableBits, histLen: hl}
+		t.foldTag[i] = foldedReg{width: cfg.TagBits, histLen: hl}
+		t.fold2[i] = foldedReg{width: cfg.TagBits - 1, histLen: hl}
+	}
+	return t
+}
+
+func (t *TAGE) index(pc uint64, table int) uint32 {
+	w := uint32(pc >> 2)
+	v := w ^ w>>(t.idxBits) ^ t.foldIdx[table].val ^ uint32(table)*0x9e37
+	return v & ((1 << t.idxBits) - 1)
+}
+
+func (t *TAGE) tag(pc uint64, table int) uint16 {
+	w := uint32(pc >> 2)
+	v := w ^ t.foldTag[table].val ^ (t.fold2[table].val << 1)
+	return uint16(v & ((1 << t.tagBits) - 1))
+}
+
+// lookup finds the provider and alternate predictions.
+type tageLookup struct {
+	provider int // table index, -1 = base
+	altpred  bool
+	provPred bool
+	provIdx  uint32
+	weakNew  bool
+}
+
+func (t *TAGE) lookup(pc uint64) tageLookup {
+	res := tageLookup{provider: -1}
+	alt := -1
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		e := &t.tables[i][idx]
+		if e.tag == t.tag(pc, i) && e.u != 0xff {
+			if res.provider == -1 {
+				res.provider = i
+				res.provIdx = idx
+				res.provPred = e.ctr >= 0
+				res.weakNew = (e.ctr == 0 || e.ctr == -1) && e.u == 0
+			} else if alt == -1 {
+				alt = i
+				res.altpred = e.ctr >= 0
+				break
+			}
+		}
+	}
+	if res.provider == -1 {
+		res.provPred = t.base.Predict(pc)
+		res.altpred = res.provPred
+	} else if alt == -1 {
+		res.altpred = t.base.Predict(pc)
+	}
+	return res
+}
+
+// Predict returns the TAGE prediction for pc.
+func (t *TAGE) Predict(pc uint64) bool {
+	lk := t.lookup(pc)
+	if lk.provider >= 0 && lk.weakNew && t.useAltOnNA >= 0 {
+		return lk.altpred
+	}
+	return lk.provPred
+}
+
+// Update trains TAGE with the actual outcome and advances global history.
+// The bimodal base is always trained, keeping BIM state meaningful on its
+// own (the property Ignite's BIM-only restore depends on).
+func (t *TAGE) Update(pc uint64, taken bool) {
+	lk := t.lookup(pc)
+	pred := lk.provPred
+	if lk.provider >= 0 && lk.weakNew && t.useAltOnNA >= 0 {
+		pred = lk.altpred
+	}
+	mispred := pred != taken
+
+	if lk.provider >= 0 {
+		e := &t.tables[lk.provider][lk.provIdx]
+		// useAltOnNA bookkeeping for weak new entries.
+		if lk.weakNew && lk.provPred != lk.altpred {
+			if lk.altpred == taken {
+				if t.useAltOnNA < 7 {
+					t.useAltOnNA++
+				}
+			} else if t.useAltOnNA > -8 {
+				t.useAltOnNA--
+			}
+		}
+		// Usefulness: provider correct and alt wrong.
+		if lk.provPred == taken && lk.altpred != taken && e.u < 3 {
+			e.u++
+		}
+		if taken {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > -4 {
+			e.ctr--
+		}
+	}
+	t.base.Update(pc, taken)
+
+	// Allocate on misprediction into a longer-history table.
+	if mispred && lk.provider < len(t.tables)-1 {
+		t.allocate(pc, taken, lk.provider)
+	}
+
+	t.pushHistory(taken)
+	t.tick++
+	if t.tick >= 256*1024 {
+		t.tick = 0
+		t.ageUsefulness()
+	}
+}
+
+func (t *TAGE) allocate(pc uint64, taken bool, provider int) {
+	start := provider + 1
+	// Randomize start a little to spread allocations (Seznec).
+	if start < len(t.tables)-1 && t.allocRNG.IntN(2) == 0 {
+		start++
+	}
+	for i := start; i < len(t.tables); i++ {
+		idx := t.index(pc, i)
+		e := &t.tables[i][idx]
+		if e.u == 0 {
+			e.tag = t.tag(pc, i)
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			e.u = 0
+			return
+		}
+	}
+	// No free entry: decay usefulness along the path.
+	for i := start; i < len(t.tables); i++ {
+		idx := t.index(pc, i)
+		if t.tables[i][idx].u > 0 {
+			t.tables[i][idx].u--
+		}
+	}
+}
+
+func (t *TAGE) ageUsefulness() {
+	for _, tab := range t.tables {
+		for i := range tab {
+			if tab[i].u > 0 {
+				tab[i].u--
+			}
+		}
+	}
+}
+
+// pushHistory shifts one outcome into the global history and all folds.
+func (t *TAGE) pushHistory(taken bool) {
+	nb := uint8(0)
+	if taken {
+		nb = 1
+	}
+	maxHist := len(t.ghist) - 1
+	// oldest bit for each fold: the bit histLen back.
+	for i := range t.foldIdx {
+		old := t.histBit(t.histLens[i] - 1)
+		t.foldIdx[i].update(nb, old)
+		t.foldTag[i].update(nb, old)
+		t.fold2[i].update(nb, old)
+	}
+	t.ghead = (t.ghead + 1) % maxHist
+	t.ghist[t.ghead] = nb
+}
+
+// histBit returns the history bit `back` positions ago (0 = most recent).
+func (t *TAGE) histBit(back int) uint8 {
+	maxHist := len(t.ghist) - 1
+	idx := (t.ghead - back%maxHist + maxHist) % maxHist
+	return t.ghist[idx]
+}
+
+// Flush clears all tagged tables and history — the cold TAGE of a lukewarm
+// invocation. The bimodal base is not touched.
+func (t *TAGE) Flush() {
+	for _, tab := range t.tables {
+		for i := range tab {
+			tab[i] = tageEntry{}
+		}
+	}
+	for i := range t.ghist {
+		t.ghist[i] = 0
+	}
+	for i := range t.foldIdx {
+		t.foldIdx[i].val = 0
+		t.foldTag[i].val = 0
+		t.fold2[i].val = 0
+	}
+	t.ghead = 0
+	t.useAltOnNA = 0
+}
+
+// TAGESnapshot captures the complete TAGE state.
+type TAGESnapshot struct {
+	tables     [][]tageEntry
+	ghist      []uint8
+	ghead      int
+	foldIdx    []foldedReg
+	foldTag    []foldedReg
+	fold2      []foldedReg
+	useAltOnNA int8
+}
+
+// Snapshot deep-copies the TAGE state (warm-TAGE studies and Ignite+TAGE).
+func (t *TAGE) Snapshot() *TAGESnapshot {
+	s := &TAGESnapshot{
+		ghist:      append([]uint8(nil), t.ghist...),
+		ghead:      t.ghead,
+		foldIdx:    append([]foldedReg(nil), t.foldIdx...),
+		foldTag:    append([]foldedReg(nil), t.foldTag...),
+		fold2:      append([]foldedReg(nil), t.fold2...),
+		useAltOnNA: t.useAltOnNA,
+	}
+	s.tables = make([][]tageEntry, len(t.tables))
+	for i, tab := range t.tables {
+		s.tables[i] = append([]tageEntry(nil), tab...)
+	}
+	return s
+}
+
+// Restore reinstates a snapshot from an identically configured TAGE.
+func (t *TAGE) Restore(s *TAGESnapshot) {
+	for i := range t.tables {
+		copy(t.tables[i], s.tables[i])
+	}
+	copy(t.ghist, s.ghist)
+	t.ghead = s.ghead
+	copy(t.foldIdx, s.foldIdx)
+	copy(t.foldTag, s.foldTag)
+	copy(t.fold2, s.fold2)
+	t.useAltOnNA = s.useAltOnNA
+}

@@ -1,0 +1,315 @@
+// Package btb implements the Branch Target Buffer of the simulated core:
+// set-associative with partial tags, allocated only for taken branches at
+// commit (the property Ignite's record mechanism relies on), with insertion
+// hooks for Ignite's recorder and restored-entry tracking for replay
+// throttling.
+package btb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ignite/internal/cfg"
+	"ignite/internal/stats"
+)
+
+// Entry is one BTB entry: the branch's PC, its (last) target, and the
+// branch type. Matching the paper's Table 2, tags are partial (12 bits by
+// default), so rare aliasing is possible and intentional.
+type Entry struct {
+	PC     uint64
+	Target uint64
+	Kind   cfg.BranchKind
+}
+
+// Config describes BTB geometry. The paper models 12K entries, 6-way,
+// 12-bit tags (Sapphire-Rapids-like).
+type Config struct {
+	Entries int
+	Ways    int
+	TagBits int
+}
+
+// DefaultConfig returns the paper's Table 2 BTB.
+func DefaultConfig() Config { return Config{Entries: 12 * 1024, Ways: 6, TagBits: 12} }
+
+// Stats counts BTB events. Misses are counted by the front end (a miss is
+// only architecturally meaningful for a taken branch); the BTB itself
+// counts structural events.
+type Stats struct {
+	Lookups           stats.Counter
+	Hits              stats.Counter
+	Inserts           stats.Counter
+	Evictions         stats.Counter
+	RestoredInserts   stats.Counter
+	RestoredUsed      stats.Counter // restored entries that served a lookup
+	RestoredEvictedUU stats.Counter // restored entries evicted untouched
+}
+
+type way struct {
+	valid    bool
+	tag      uint64
+	target   uint64
+	kind     cfg.BranchKind
+	restored bool // inserted by Ignite replay and not yet accessed
+	lastUse  uint64
+	// vmID tags the entry with the virtual machine that created it
+	// (Arm FEAT_CSV2-style BTB tagging, Section 4.4 of the paper):
+	// entries are only usable by the VM that owns them, so replayed
+	// entries from a malicious VM cannot steer another VM's speculation.
+	vmID uint16
+}
+
+// BTB is a set-associative branch target buffer. Construct with New.
+type BTB struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	tagMask uint64
+	ways    []way
+	tick    uint64
+	stats   Stats
+
+	// onInsert fires for demand (commit-time) insertions only — the tap
+	// Ignite's recorder attaches to (Section 4.1).
+	onInsert func(Entry)
+	// restoredUntouched counts replay-inserted entries that the front
+	// end has not yet used, driving replay throttling (Section 4.2).
+	restoredUntouched int
+
+	// tagging enables VM-ID tagging; currentVM is the executing VM.
+	tagging   bool
+	currentVM uint16
+}
+
+// New builds a BTB; geometry must be power-of-two sets.
+func New(c Config) (*BTB, error) {
+	if c.Entries <= 0 || c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return nil, fmt.Errorf("btb: bad geometry %+v", c)
+	}
+	sets := c.Entries / c.Ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return nil, fmt.Errorf("btb: %d sets not a power of two", sets)
+	}
+	if c.TagBits <= 0 || c.TagBits > 40 {
+		return nil, fmt.Errorf("btb: bad tag bits %d", c.TagBits)
+	}
+	return &BTB{
+		cfg:     c,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		tagMask: (1 << uint(c.TagBits)) - 1,
+		ways:    make([]way, c.Entries),
+	}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(c Config) *BTB {
+	b, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Config returns the BTB's configuration.
+func (b *BTB) Config() Config { return b.cfg }
+
+// Stats returns the BTB statistics collector.
+func (b *BTB) Stats() *Stats { return &b.stats }
+
+// OnInsert registers the commit-time insertion hook (at most one).
+func (b *BTB) OnInsert(fn func(Entry)) { b.onInsert = fn }
+
+// EnableTagging turns on VM-ID tagging (FEAT_CSV2-style). Entries created
+// from now on are tagged with the current VM and are invisible to lookups
+// from other VMs.
+func (b *BTB) EnableTagging() { b.tagging = true }
+
+// SetVM switches the currently executing VM context.
+func (b *BTB) SetVM(id uint16) { b.currentVM = id }
+
+// CurrentVM returns the executing VM's ID.
+func (b *BTB) CurrentVM() uint16 { return b.currentVM }
+
+func (b *BTB) index(pc uint64) (set uint64, tag uint64) {
+	w := pc >> 2 // instruction-aligned
+	set = w & b.setMask
+	tag = (w >> uint(bits.TrailingZeros(uint(b.sets)))) & b.tagMask
+	return
+}
+
+func (b *BTB) setSlice(set uint64) []way {
+	start := int(set) * b.cfg.Ways
+	return b.ways[start : start+b.cfg.Ways]
+}
+
+// Lookup queries the BTB for a branch at pc. A hit updates recency and
+// clears the restored-untouched mark.
+func (b *BTB) Lookup(pc uint64) (Entry, bool) {
+	set, tag := b.index(pc)
+	ws := b.setSlice(set)
+	b.stats.Lookups.Inc()
+	for i := range ws {
+		w := &ws[i]
+		if w.valid && w.tag == tag {
+			if b.tagging && w.vmID != b.currentVM {
+				// Tagged entries are unusable across VM boundaries.
+				continue
+			}
+			b.stats.Hits.Inc()
+			b.tick++
+			w.lastUse = b.tick
+			if w.restored {
+				w.restored = false
+				b.restoredUntouched--
+				b.stats.RestoredUsed.Inc()
+			}
+			return Entry{PC: pc, Target: w.target, Kind: w.kind}, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Contains probes without updating recency or restored tracking.
+func (b *BTB) Contains(pc uint64) bool {
+	set, tag := b.index(pc)
+	for i := range b.setSlice(set) {
+		w := &b.setSlice(set)[i]
+		if w.valid && w.tag == tag && (!b.tagging || w.vmID == b.currentVM) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert allocates (or updates) the entry for e.PC. restored marks replay
+// insertions, which are tracked for throttling and accuracy and do NOT fire
+// the recorder hook; commit-time insertions do.
+func (b *BTB) Insert(e Entry, restored bool) {
+	set, tag := b.index(e.PC)
+	ws := b.setSlice(set)
+	b.tick++
+	for i := range ws {
+		w := &ws[i]
+		if w.valid && w.tag == tag && (!b.tagging || w.vmID == b.currentVM) {
+			// Target update (e.g. indirect branch retarget) — not a
+			// new allocation; no recording.
+			w.target = e.Target
+			w.kind = e.Kind
+			w.lastUse = b.tick
+			return
+		}
+	}
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range ws {
+		w := &ws[i]
+		if !w.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if w.lastUse < oldest {
+			oldest = w.lastUse
+			victim = i
+		}
+	}
+	v := &ws[victim]
+	if v.valid {
+		b.stats.Evictions.Inc()
+		if v.restored {
+			b.restoredUntouched--
+			b.stats.RestoredEvictedUU.Inc()
+		}
+	}
+	*v = way{
+		valid:    true,
+		tag:      tag,
+		target:   e.Target,
+		kind:     e.Kind,
+		restored: restored,
+		lastUse:  b.tick,
+		vmID:     b.currentVM,
+	}
+	b.stats.Inserts.Inc()
+	if restored {
+		b.stats.RestoredInserts.Inc()
+		b.restoredUntouched++
+	} else if b.onInsert != nil {
+		b.onInsert(e)
+	}
+}
+
+// RestoredUntouched returns the number of replay-inserted entries the front
+// end has not yet used — Ignite's throttle input.
+func (b *BTB) RestoredUntouched() int { return b.restoredUntouched }
+
+// Flush invalidates all entries (interleaving thrash). Restored entries
+// still resident count as evicted-untouched.
+func (b *BTB) Flush() {
+	for i := range b.ways {
+		if b.ways[i].valid && b.ways[i].restored {
+			b.stats.RestoredEvictedUU.Inc()
+		}
+		b.ways[i] = way{}
+	}
+	b.restoredUntouched = 0
+	b.tick = 0
+}
+
+// SweepRestoredUnused finalizes restore-accuracy stats at the end of a
+// measurement window: resident restored-but-unused entries count as unused.
+func (b *BTB) SweepRestoredUnused() int {
+	n := 0
+	for i := range b.ways {
+		if b.ways[i].valid && b.ways[i].restored {
+			n++
+			b.stats.RestoredEvictedUU.Inc()
+			b.ways[i].restored = false
+		}
+	}
+	b.restoredUntouched = 0
+	return n
+}
+
+// Occupancy returns the number of valid entries.
+func (b *BTB) Occupancy() int {
+	n := 0
+	for i := range b.ways {
+		if b.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears counters without touching contents.
+func (b *BTB) ResetStats() { b.stats = Stats{} }
+
+// Snapshot is an opaque deep copy of BTB contents.
+type Snapshot struct {
+	ways []way
+}
+
+// Snapshot returns a deep copy of the BTB contents (used by the warm-BTB
+// preservation studies of Figures 4 and 5).
+func (b *BTB) Snapshot() *Snapshot {
+	cp := make([]way, len(b.ways))
+	copy(cp, b.ways)
+	return &Snapshot{ways: cp}
+}
+
+// Restore reinstates a snapshot taken from an identically configured BTB.
+func (b *BTB) Restore(snap *Snapshot) {
+	if len(snap.ways) != len(b.ways) {
+		panic("btb: snapshot geometry mismatch")
+	}
+	copy(b.ways, snap.ways)
+	b.restoredUntouched = 0
+	for i := range b.ways {
+		if b.ways[i].restored {
+			b.restoredUntouched++
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ignite/internal/cfg"
+)
+
+func smallBTB(t *testing.T) *BTB {
+	t.Helper()
+	b, err := New(Config{Entries: 64, Ways: 4, TagBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, Ways: 4, TagBits: 12},
+		{Entries: 64, Ways: 0, TagBits: 12},
+		{Entries: 65, Ways: 4, TagBits: 12},
+		{Entries: 96, Ways: 4, TagBits: 12}, // 24 sets, not pow2
+		{Entries: 64, Ways: 4, TagBits: 0},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	b := smallBTB(t)
+	e := Entry{PC: 0x400100, Target: 0x400200, Kind: cfg.BranchCond}
+	if _, hit := b.Lookup(e.PC); hit {
+		t.Fatal("hit in empty BTB")
+	}
+	b.Insert(e, false)
+	got, hit := b.Lookup(e.PC)
+	if !hit || got.Target != e.Target || got.Kind != e.Kind {
+		t.Fatalf("lookup = %+v hit=%v", got, hit)
+	}
+}
+
+func TestInsertUpdatesExistingTarget(t *testing.T) {
+	b := smallBTB(t)
+	pc := uint64(0x400100)
+	b.Insert(Entry{PC: pc, Target: 0x1000, Kind: cfg.BranchIndirectJump}, false)
+	b.Insert(Entry{PC: pc, Target: 0x2000, Kind: cfg.BranchIndirectJump}, false)
+	got, _ := b.Lookup(pc)
+	if got.Target != 0x2000 {
+		t.Errorf("target = %#x, want retargeted %#x", got.Target, 0x2000)
+	}
+	if b.Stats().Inserts.Value() != 1 {
+		t.Errorf("retarget counted as new insert")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	b := smallBTB(t) // 16 sets, 4 ways; same-set stride = 16*4 bytes
+	stride := uint64(16 * 4)
+	pcs := make([]uint64, 5)
+	for i := range pcs {
+		pcs[i] = 0x1000 + uint64(i)*stride
+	}
+	for _, pc := range pcs[:4] {
+		b.Insert(Entry{PC: pc, Target: pc + 4}, false)
+	}
+	b.Lookup(pcs[0]) // protect
+	b.Insert(Entry{PC: pcs[4], Target: 0}, false)
+	if _, hit := b.Lookup(pcs[1]); hit {
+		t.Error("LRU victim still present")
+	}
+	if _, hit := b.Lookup(pcs[0]); !hit {
+		t.Error("MRU entry evicted")
+	}
+}
+
+func TestOnInsertHookFiresForDemandOnly(t *testing.T) {
+	b := smallBTB(t)
+	var recorded []Entry
+	b.OnInsert(func(e Entry) { recorded = append(recorded, e) })
+	b.Insert(Entry{PC: 0x100, Target: 0x200, Kind: cfg.BranchUncond}, false)
+	b.Insert(Entry{PC: 0x300, Target: 0x400, Kind: cfg.BranchCond}, true) // restored
+	if len(recorded) != 1 || recorded[0].PC != 0x100 {
+		t.Errorf("recorded = %+v, want only the demand insert", recorded)
+	}
+	// Target update of an existing entry must not re-record.
+	b.Insert(Entry{PC: 0x100, Target: 0x500, Kind: cfg.BranchUncond}, false)
+	if len(recorded) != 1 {
+		t.Error("retarget fired the record hook")
+	}
+}
+
+func TestRestoredTrackingLifecycle(t *testing.T) {
+	b := smallBTB(t)
+	for i := 0; i < 3; i++ {
+		b.Insert(Entry{PC: uint64(0x1000 + i*4), Target: 1}, true)
+	}
+	if got := b.RestoredUntouched(); got != 3 {
+		t.Fatalf("RestoredUntouched = %d, want 3", got)
+	}
+	b.Lookup(0x1000)
+	if got := b.RestoredUntouched(); got != 2 {
+		t.Fatalf("after use = %d, want 2", got)
+	}
+	if b.Stats().RestoredUsed.Value() != 1 {
+		t.Error("RestoredUsed not counted")
+	}
+	// Evict the remaining two via sweep.
+	if n := b.SweepRestoredUnused(); n != 2 {
+		t.Errorf("sweep = %d, want 2", n)
+	}
+	if b.RestoredUntouched() != 0 {
+		t.Error("counter nonzero after sweep")
+	}
+}
+
+func TestRestoredEvictionDecrements(t *testing.T) {
+	b := smallBTB(t)
+	stride := uint64(16 * 4)
+	for i := 0; i < 4; i++ {
+		b.Insert(Entry{PC: 0x1000 + uint64(i)*stride, Target: 1}, true)
+	}
+	before := b.RestoredUntouched()
+	b.Insert(Entry{PC: 0x1000 + 4*stride, Target: 1}, false) // evicts one restored
+	if got := b.RestoredUntouched(); got != before-1 {
+		t.Errorf("RestoredUntouched = %d, want %d", got, before-1)
+	}
+	if b.Stats().RestoredEvictedUU.Value() != 1 {
+		t.Error("eviction of untouched restored entry not counted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b := smallBTB(t)
+	b.Insert(Entry{PC: 0x100, Target: 0x200}, true)
+	b.Flush()
+	if b.Occupancy() != 0 || b.RestoredUntouched() != 0 {
+		t.Error("flush incomplete")
+	}
+	if _, hit := b.Lookup(0x100); hit {
+		t.Error("hit after flush")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	b := smallBTB(t)
+	b.Insert(Entry{PC: 0x104, Target: 0x200, Kind: cfg.BranchCall}, false)
+	snap := b.Snapshot()
+	b.Flush()
+	b.Restore(snap)
+	got, hit := b.Lookup(0x104)
+	if !hit || got.Target != 0x200 || got.Kind != cfg.BranchCall {
+		t.Errorf("after restore: %+v hit=%v", got, hit)
+	}
+}
+
+func TestPartialTagAliasing(t *testing.T) {
+	// With 12-bit tags and 16 sets, PCs 2^(4+12) words apart alias.
+	b := smallBTB(t)
+	pc1 := uint64(0x1000)
+	pc2 := pc1 + (1 << (4 + 12 + 2)) // same set, same partial tag
+	b.Insert(Entry{PC: pc1, Target: 0xAAA}, false)
+	if got, hit := b.Lookup(pc2); !hit || got.Target != 0xAAA {
+		t.Errorf("expected aliasing hit, got hit=%v %+v", hit, got)
+	}
+}
+
+// Property: occupancy is bounded by capacity and lookups never crash for
+// arbitrary PCs.
+func TestBTBOccupancyProperty(t *testing.T) {
+	b := smallBTB(t)
+	f := func(pcs []uint32) bool {
+		for _, pc := range pcs {
+			b.Insert(Entry{PC: uint64(pc), Target: uint64(pc) + 8}, pc%3 == 0)
+			b.Lookup(uint64(pc / 2))
+			if b.Occupancy() > 64 {
+				return false
+			}
+			if b.RestoredUntouched() < 0 || b.RestoredUntouched() > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

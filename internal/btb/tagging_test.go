@@ -1,0 +1,74 @@
+package btb
+
+import (
+	"testing"
+
+	"ignite/internal/cfg"
+)
+
+// The paper's Section 4.4: with FEAT_CSV2-style BTB tagging, entries
+// replayed by one VM must not be usable by another, closing the speculative
+// side channel Ignite's injection could otherwise widen.
+func TestTaggingIsolatesVMs(t *testing.T) {
+	b := smallBTB(t)
+	b.EnableTagging()
+
+	b.SetVM(1)
+	b.Insert(Entry{PC: 0x1000, Target: 0x2000, Kind: cfg.BranchUncond}, true) // replayed by VM 1
+	if _, hit := b.Lookup(0x1000); !hit {
+		t.Fatal("owner VM cannot use its own entry")
+	}
+
+	b.SetVM(2)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("VM 2 used VM 1's replayed entry: side channel open")
+	}
+	if b.Contains(0x1000) {
+		t.Fatal("Contains leaked across VMs")
+	}
+
+	// VM 2 can create its own entry for the same PC (new allocation).
+	b.Insert(Entry{PC: 0x1000, Target: 0x3000, Kind: cfg.BranchUncond}, false)
+	got, hit := b.Lookup(0x1000)
+	if !hit || got.Target != 0x3000 {
+		t.Fatalf("VM 2's own entry: hit=%v %+v", hit, got)
+	}
+
+	// VM 1 still sees its original target, not VM 2's.
+	b.SetVM(1)
+	got, hit = b.Lookup(0x1000)
+	if !hit || got.Target != 0x2000 {
+		t.Fatalf("VM 1's entry corrupted: hit=%v %+v", hit, got)
+	}
+}
+
+func TestTaggingDisabledByDefault(t *testing.T) {
+	b := smallBTB(t)
+	b.SetVM(1)
+	b.Insert(Entry{PC: 0x100, Target: 0x200, Kind: cfg.BranchCall}, false)
+	b.SetVM(2)
+	if _, hit := b.Lookup(0x100); !hit {
+		t.Error("without tagging, entries are shared across contexts")
+	}
+}
+
+func TestTaggingRestoredAccounting(t *testing.T) {
+	b := smallBTB(t)
+	b.EnableTagging()
+	b.SetVM(1)
+	b.Insert(Entry{PC: 0x100, Target: 0x200}, true)
+	if b.RestoredUntouched() != 1 {
+		t.Fatal("restored tracking broken under tagging")
+	}
+	// A lookup from another VM misses and must not clear the mark.
+	b.SetVM(2)
+	b.Lookup(0x100)
+	if b.RestoredUntouched() != 1 {
+		t.Error("foreign lookup cleared the restored mark")
+	}
+	b.SetVM(1)
+	b.Lookup(0x100)
+	if b.RestoredUntouched() != 0 {
+		t.Error("owner lookup did not clear the restored mark")
+	}
+}

@@ -1,0 +1,300 @@
+// Package cache models the on-chip cache hierarchy of the simulated core:
+// set-associative L1-I, L1-D, private L2 and shared LLC with LRU
+// replacement, line provenance tracking (demand / prefetcher / Ignite
+// restore), and the statistics needed by the paper's coverage, accuracy and
+// bandwidth studies.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ignite/internal/stats"
+)
+
+// Provenance records how a line entered a cache, enabling the prefetch
+// accuracy accounting of the paper's Figure 9c and the useful/useless
+// traffic split of Figure 10.
+type Provenance uint8
+
+const (
+	// ProvDemand: filled by a correct-path demand access.
+	ProvDemand Provenance = iota
+	// ProvWrongPath: filled by a wrong-path demand fetch.
+	ProvWrongPath
+	// ProvPrefetch: filled by a conventional prefetcher (NL, FDP,
+	// Boomerang, Jukebox, Confluence).
+	ProvPrefetch
+	// ProvRestored: filled by Ignite's bulk restore.
+	ProvRestored
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case ProvDemand:
+		return "demand"
+	case ProvWrongPath:
+		return "wrongpath"
+	case ProvPrefetch:
+		return "prefetch"
+	case ProvRestored:
+		return "restored"
+	default:
+		return fmt.Sprintf("Provenance(%d)", uint8(p))
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles
+}
+
+// Stats collects per-cache event counts.
+type Stats struct {
+	Accesses       stats.Counter
+	Hits           stats.Counter
+	Misses         stats.Counter
+	Inserts        stats.Counter
+	Evictions      stats.Counter
+	PrefetchUseful stats.Counter // first demand touch of a prefetched/restored line
+	PrefetchUnused stats.Counter // prefetched/restored lines evicted or swept untouched
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	prov    Provenance
+	touched bool // demand-accessed since fill
+	lastUse uint64
+}
+
+// Cache is a single set-associative, LRU, write-allocate cache level. The
+// zero value is not usable; construct with New.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	lines    []line // sets*ways, set-major
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a cache from cfg, validating that the geometry is coherent
+// (power-of-two line size and set count).
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || bits.OnesCount(uint(cfg.LineBytes)) != 1 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: invalid geometry", cfg.Name)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", cfg.Name, lines, cfg.Ways)
+	}
+	sets := lines / cfg.Ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return nil, fmt.Errorf("cache %s: %d sets not a power of two", cfg.Name, sets)
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:  uint64(sets - 1),
+		lines:    make([]line, lines),
+	}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the cache's statistics collector.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// LineAddr returns the line-aligned address for addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr >> c.lineBits << c.lineBits
+}
+
+func (c *Cache) set(addr uint64) []line {
+	idx := (addr >> c.lineBits) & c.setMask
+	start := int(idx) * c.cfg.Ways
+	return c.lines[start : start+c.cfg.Ways]
+}
+
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return addr >> c.lineBits >> uint(bits.TrailingZeros(uint(c.sets)))
+}
+
+// AccessResult describes a cache lookup.
+type AccessResult struct {
+	Hit bool
+	// FirstTouch is set when a demand access hits a prefetched or
+	// restored line for the first time — the signal used both by the
+	// next-line prefetcher (prefetch-hit trigger) and by accuracy
+	// accounting.
+	FirstTouch bool
+	// Prov is the provenance of the line that was hit.
+	Prov Provenance
+}
+
+// Access looks up addr. A demand access updates recency and the touched
+// bit; a non-demand access (prefetcher probe) updates neither.
+func (c *Cache) Access(addr uint64, demand bool) AccessResult {
+	set := c.set(addr)
+	tag := c.tagOf(addr)
+	if demand {
+		c.stats.Accesses.Inc()
+	}
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			if !demand {
+				return AccessResult{Hit: true, Prov: ln.prov}
+			}
+			c.stats.Hits.Inc()
+			c.tick++
+			ln.lastUse = c.tick
+			first := !ln.touched && ln.prov != ProvDemand
+			if first {
+				c.stats.PrefetchUseful.Inc()
+			}
+			ln.touched = true
+			return AccessResult{Hit: true, FirstTouch: first, Prov: ln.prov}
+		}
+	}
+	if demand {
+		c.stats.Misses.Inc()
+	}
+	return AccessResult{}
+}
+
+// Contains reports whether addr is resident without disturbing any state.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.set(addr)
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a line displaced by an insert.
+type Eviction struct {
+	LineAddr uint64
+	Prov     Provenance
+	Touched  bool
+}
+
+// Insert fills addr with the given provenance, returning the eviction (if
+// any). Inserting a line that is already resident refreshes recency and
+// upgrades wrong-path/prefetch provenance to demand when prov is demand.
+func (c *Cache) Insert(addr uint64, prov Provenance) (Eviction, bool) {
+	set := c.set(addr)
+	tag := c.tagOf(addr)
+	c.tick++
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.lastUse = c.tick
+			if prov == ProvDemand {
+				ln.prov = ProvDemand
+				ln.touched = true
+			}
+			return Eviction{}, false
+		}
+	}
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			victim = i
+			break
+		}
+		if ln.lastUse < oldest {
+			oldest = ln.lastUse
+			victim = i
+		}
+	}
+	ev := Eviction{}
+	hadEv := false
+	v := &set[victim]
+	if v.valid {
+		hadEv = true
+		setIdx := (addr >> c.lineBits) & c.setMask
+		evLineIdx := v.tag<<uint(bits.TrailingZeros(uint(c.sets))) | setIdx
+		ev = Eviction{LineAddr: evLineIdx << c.lineBits, Prov: v.prov, Touched: v.touched}
+		c.stats.Evictions.Inc()
+		if !v.touched && v.prov != ProvDemand {
+			c.stats.PrefetchUnused.Inc()
+		}
+	}
+	*v = line{
+		tag:     tag,
+		valid:   true,
+		prov:    prov,
+		touched: prov == ProvDemand,
+		lastUse: c.tick,
+	}
+	c.stats.Inserts.Inc()
+	return ev, hadEv
+}
+
+// Flush invalidates every line, modeling thrashing by interleaved
+// executions. Untouched prefetched lines are counted as unused.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && !ln.touched && ln.prov != ProvDemand {
+			c.stats.PrefetchUnused.Inc()
+		}
+		c.lines[i] = line{}
+	}
+	c.tick = 0
+}
+
+// SweepUnused finalizes accuracy statistics at the end of a measurement
+// window: resident prefetched/restored lines that were never demand-touched
+// are counted as unused without invalidating them.
+func (c *Cache) SweepUnused() int {
+	n := 0
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && !ln.touched && ln.prov != ProvDemand {
+			c.stats.PrefetchUnused.Inc()
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

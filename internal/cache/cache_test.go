@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Name: "badline", SizeBytes: 1024, LineBytes: 48, Ways: 2},
+		{Name: "zeroways", SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{Name: "badsets", SizeBytes: 64 * 3, LineBytes: 64, Ways: 1},
+		{Name: "zerosize", SizeBytes: 0, LineBytes: 64, Ways: 2},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%s) accepted invalid config", cfg.Name)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := smallCache(t)
+	addr := uint64(0x1000)
+	if res := c.Access(addr, true); res.Hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(addr, ProvDemand)
+	if res := c.Access(addr, true); !res.Hit {
+		t.Fatal("miss after insert")
+	}
+	if res := c.Access(addr+63, true); !res.Hit {
+		t.Fatal("same line, different offset missed")
+	}
+	if res := c.Access(addr+64, true); res.Hit {
+		t.Fatal("next line should miss")
+	}
+	st := c.Stats()
+	if st.Hits.Value() != 2 || st.Misses.Value() != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", st.Hits.Value(), st.Misses.Value())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache(t) // 8 sets, 2 ways
+	// Three lines mapping to the same set (stride = sets*line = 512).
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Insert(a, ProvDemand)
+	c.Insert(b, ProvDemand)
+	c.Access(a, true) // make b the LRU
+	ev, had := c.Insert(d, ProvDemand)
+	if !had || ev.LineAddr != b {
+		t.Fatalf("evicted %#x (had=%v), want %#x", ev.LineAddr, had, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Error("wrong resident set after eviction")
+	}
+}
+
+func TestEvictionAddressReconstruction(t *testing.T) {
+	c := smallCache(t)
+	for _, addr := range []uint64{0x12340, 0x98765 &^ 63} {
+		la := c.LineAddr(addr)
+		c.Insert(la, ProvDemand)
+		// Fill the set to force eviction of la.
+		stride := uint64(512)
+		ev1, _ := c.Insert(la+stride, ProvDemand)
+		_ = ev1
+		ev, had := c.Insert(la+2*stride, ProvDemand)
+		if !had {
+			t.Fatalf("no eviction for %#x", addr)
+		}
+		if ev.LineAddr != la {
+			t.Errorf("evicted %#x, want %#x", ev.LineAddr, la)
+		}
+	}
+}
+
+func TestFirstTouchSemantics(t *testing.T) {
+	c := smallCache(t)
+	addr := uint64(0x40)
+	c.Insert(addr, ProvPrefetch)
+	res := c.Access(addr, true)
+	if !res.Hit || !res.FirstTouch || res.Prov != ProvPrefetch {
+		t.Fatalf("first access: %+v", res)
+	}
+	res = c.Access(addr, true)
+	if !res.Hit || res.FirstTouch {
+		t.Fatalf("second access should not be first touch: %+v", res)
+	}
+	if c.Stats().PrefetchUseful.Value() != 1 {
+		t.Errorf("PrefetchUseful = %d, want 1", c.Stats().PrefetchUseful.Value())
+	}
+}
+
+func TestNonDemandProbeDoesNotDisturb(t *testing.T) {
+	c := smallCache(t)
+	addr := uint64(0x80)
+	c.Insert(addr, ProvPrefetch)
+	res := c.Access(addr, false)
+	if !res.Hit || res.FirstTouch {
+		t.Fatalf("probe: %+v", res)
+	}
+	if c.Stats().Accesses.Value() != 0 {
+		t.Error("probe counted as access")
+	}
+	// Demand access should still be the first touch.
+	if res := c.Access(addr, true); !res.FirstTouch {
+		t.Error("probe consumed first touch")
+	}
+}
+
+func TestUnusedPrefetchAccounting(t *testing.T) {
+	c := smallCache(t)
+	c.Insert(0, ProvPrefetch)
+	c.Insert(512, ProvPrefetch)
+	c.Insert(1024, ProvDemand) // evicts LRU prefetch (line 0), untouched
+	if got := c.Stats().PrefetchUnused.Value(); got != 1 {
+		t.Errorf("PrefetchUnused after eviction = %d, want 1", got)
+	}
+	if got := c.SweepUnused(); got != 1 { // line 512 still resident, untouched
+		t.Errorf("SweepUnused = %d, want 1", got)
+	}
+	if got := c.Stats().PrefetchUnused.Value(); got != 2 {
+		t.Errorf("PrefetchUnused after sweep = %d, want 2", got)
+	}
+}
+
+func TestFlushCountsUnusedAndEmpties(t *testing.T) {
+	c := smallCache(t)
+	c.Insert(0, ProvRestored)
+	c.Insert(64, ProvDemand)
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Error("cache not empty after flush")
+	}
+	if got := c.Stats().PrefetchUnused.Value(); got != 1 {
+		t.Errorf("PrefetchUnused after flush = %d, want 1", got)
+	}
+}
+
+func TestInsertExistingUpgradesToDemand(t *testing.T) {
+	c := smallCache(t)
+	c.Insert(0, ProvPrefetch)
+	c.Insert(0, ProvDemand)
+	res := c.Access(0, true)
+	if res.Prov != ProvDemand || res.FirstTouch {
+		t.Errorf("after upgrade: %+v", res)
+	}
+}
+
+// Property: occupancy never exceeds capacity and Contains is consistent
+// with Access hits.
+func TestCacheInvariantsProperty(t *testing.T) {
+	c := smallCache(t)
+	capLines := 1024 / 64
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			addr := uint64(a) * 32
+			if c.Contains(c.LineAddr(addr)) != c.Access(addr, false).Hit {
+				return false
+			}
+			c.Insert(addr, ProvDemand)
+			if c.Occupancy() > capLines {
+				return false
+			}
+			if !c.Access(addr, true).Hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProvenanceString(t *testing.T) {
+	for p, want := range map[Provenance]string{
+		ProvDemand: "demand", ProvWrongPath: "wrongpath",
+		ProvPrefetch: "prefetch", ProvRestored: "restored",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package cache
+
+import "testing"
+
+type fakeTracker struct {
+	memFetches map[uint64][]Source
+	inserts    map[uint64][]Source
+	touches    map[uint64]int
+}
+
+func newFakeTracker() *fakeTracker {
+	return &fakeTracker{
+		memFetches: map[uint64][]Source{},
+		inserts:    map[uint64][]Source{},
+		touches:    map[uint64]int{},
+	}
+}
+
+func (f *fakeTracker) MemFetch(la uint64, src Source) {
+	f.memFetches[la] = append(f.memFetches[la], src)
+}
+func (f *fakeTracker) Inserted(la uint64, src Source, lvl Level) {
+	f.inserts[la] = append(f.inserts[la], src)
+}
+func (f *fakeTracker) DemandTouch(la uint64) { f.touches[la]++ }
+
+func TestFetchInstrFillPath(t *testing.T) {
+	tr := newFakeTracker()
+	h := DefaultHierarchy(tr)
+	addr := uint64(0x400000)
+
+	lat, lvl, _ := h.FetchInstr(addr, false)
+	if lvl != LvlMem || lat != h.Lat.Mem {
+		t.Fatalf("cold fetch: lat=%d lvl=%v", lat, lvl)
+	}
+	// Now resident everywhere on the fill path.
+	lat, lvl, _ = h.FetchInstr(addr, false)
+	if lvl != LvlL1I || lat != h.Lat.L1I {
+		t.Fatalf("warm fetch: lat=%d lvl=%v", lat, lvl)
+	}
+	if len(tr.memFetches[addr&^63]) != 1 {
+		t.Errorf("mem fetches = %v", tr.memFetches)
+	}
+	if tr.touches[addr&^63] < 1 {
+		t.Error("no demand touch recorded")
+	}
+}
+
+func TestFetchInstrL2Hit(t *testing.T) {
+	h := DefaultHierarchy(nil)
+	addr := uint64(0x1000)
+	h.L2.Insert(addr, ProvPrefetch)
+	lat, lvl, _ := h.FetchInstr(addr, false)
+	if lvl != LvlL2 || lat != h.Lat.L2 {
+		t.Fatalf("lat=%d lvl=%v, want L2 hit", lat, lvl)
+	}
+	// Fill into L1I happened.
+	if !h.L1I.Contains(addr) {
+		t.Error("L1I not filled from L2")
+	}
+}
+
+func TestWrongPathFetchClassification(t *testing.T) {
+	tr := newFakeTracker()
+	h := DefaultHierarchy(tr)
+	addr := uint64(0x2000)
+	h.FetchInstr(addr, true) // wrong path, from memory
+	la := addr &^ 63
+	if got := tr.memFetches[la]; len(got) != 1 || got[0] != SrcWrongPath {
+		t.Fatalf("mem fetch sources = %v", got)
+	}
+	if tr.touches[la] != 0 {
+		t.Error("wrong-path fetch should not demand-touch")
+	}
+	// A later correct-path fetch hits L1I and touches.
+	h.FetchInstr(addr, false)
+	if tr.touches[la] != 1 {
+		t.Error("correct-path hit did not touch")
+	}
+}
+
+func TestPrefetchInstrIntoL2(t *testing.T) {
+	tr := newFakeTracker()
+	h := DefaultHierarchy(tr)
+	addr := uint64(0x3000)
+	from, issued := h.PrefetchInstr(addr, SrcJukebox, LvlL2)
+	if !issued || from != LvlMem {
+		t.Fatalf("prefetch: from=%v issued=%v", from, issued)
+	}
+	if h.L1I.Contains(addr) {
+		t.Error("L2 prefetch must not fill L1I")
+	}
+	if !h.L2.Contains(addr) || !h.LLC.Contains(addr) {
+		t.Error("L2 prefetch should fill L2 and LLC")
+	}
+	// Second prefetch is a no-op.
+	if _, issued := h.PrefetchInstr(addr, SrcJukebox, LvlL2); issued {
+		t.Error("duplicate prefetch issued")
+	}
+	// Demand fetch now hits L2.
+	_, lvl, _ := h.FetchInstr(addr, false)
+	if lvl != LvlL2 {
+		t.Errorf("demand after L2 prefetch hit %v", lvl)
+	}
+}
+
+func TestPrefetchInstrIntoL1(t *testing.T) {
+	h := DefaultHierarchy(nil)
+	addr := uint64(0x4000)
+	h.L2.Insert(addr, ProvDemand)
+	from, issued := h.PrefetchInstr(addr, SrcNextLine, LvlL1I)
+	if !issued || from != LvlL2 {
+		t.Fatalf("from=%v issued=%v, want L2/true", from, issued)
+	}
+	_, lvl, _ := h.FetchInstr(addr, false)
+	if lvl != LvlL1I {
+		t.Errorf("demand hit %v, want L1I", lvl)
+	}
+}
+
+func TestAccessDataPath(t *testing.T) {
+	h := DefaultHierarchy(nil)
+	addr := uint64(0x9000)
+	lat, lvl := h.AccessData(addr)
+	if lvl != LvlMem || lat != h.Lat.Mem {
+		t.Fatalf("cold data: %d %v", lat, lvl)
+	}
+	lat, lvl = h.AccessData(addr)
+	if lvl != LvlL1D || lat != h.Lat.L1D {
+		t.Fatalf("warm data: %d %v", lat, lvl)
+	}
+	if h.Stats().DataAccesses.Value() != 2 || h.Stats().DataL1Misses.Value() != 1 {
+		t.Error("data stats wrong")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	h := DefaultHierarchy(nil)
+	h.FetchInstr(0x100, false)
+	h.AccessData(0x8000)
+	h.FlushAll()
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.LLC} {
+		if c.Occupancy() != 0 {
+			t.Errorf("%s not empty after FlushAll", c.Config().Name)
+		}
+	}
+	_, lvl, _ := h.FetchInstr(0x100, false)
+	if lvl != LvlMem {
+		t.Errorf("after flush, fetch hit %v", lvl)
+	}
+}
+
+func TestHierStatsMPKIInputs(t *testing.T) {
+	h := DefaultHierarchy(nil)
+	for i := 0; i < 10; i++ {
+		h.FetchInstr(uint64(i)*64, false)
+	}
+	st := h.Stats()
+	if st.InstrFetches.Value() != 10 || st.InstrL1Misses.Value() != 10 || st.InstrLLCMisses.Value() != 10 {
+		t.Errorf("stats: %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		h.FetchInstr(uint64(i)*64, false)
+	}
+	if st.InstrL1Misses.Value() != 10 {
+		t.Error("warm refetch counted as miss")
+	}
+}
+
+func TestLevelAndSourceStrings(t *testing.T) {
+	if LvlL1I.String() != "L1I" || LvlMem.String() != "Mem" {
+		t.Error("Level.String broken")
+	}
+	for s := Source(0); s < Source(NumSources); s++ {
+		if s.String() == "?" {
+			t.Errorf("source %d has no name", s)
+		}
+	}
+}

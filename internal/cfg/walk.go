@@ -1,0 +1,236 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Step is one dynamic basic-block execution. Taken reports whether the
+// block's terminator transferred control non-sequentially; for taken
+// branches the dynamic target is the next step's block.
+type Step struct {
+	Block BlockID
+	Taken bool
+}
+
+// WalkOptions controls dynamic trace generation.
+type WalkOptions struct {
+	// Seed drives every random decision (branch directions, loop trip
+	// counts, indirect targets). The same seed reproduces the same trace
+	// bit-for-bit; different seeds model distinct invocations of the same
+	// function with high control-flow commonality.
+	Seed uint64
+	// MaxInstr stops the walk once this many instructions have been
+	// emitted (0 = unlimited). Models the finite length of a serverless
+	// invocation.
+	MaxInstr uint64
+	// MaxDepth bounds the call depth (default 128). Exceeding it is an
+	// error: generated programs have DAG call graphs and bounded depth.
+	MaxDepth int
+}
+
+// WalkResult summarizes a completed walk.
+type WalkResult struct {
+	Instrs    uint64 // dynamic instructions emitted
+	Steps     uint64 // dynamic blocks emitted
+	Truncated bool   // stopped by MaxInstr or by the emit callback
+}
+
+// ErrDepth is returned when the walk exceeds MaxDepth.
+var ErrDepth = fmt.Errorf("cfg: call depth limit exceeded")
+
+type walker struct {
+	p     *Program
+	rng   *rand.Rand
+	emit  func(Step) bool
+	opt   WalkOptions
+	res   WalkResult
+	depth int
+	err   error
+	// execCounts tracks per-block execution counts for deterministic
+	// periodic branches, indexed by BlockID.
+	execCounts []uint32
+}
+
+// Walk generates a dynamic execution trace of the function with index entry,
+// invoking emit for every executed basic block in order. emit may return
+// false to stop the walk early. Walk reports the trace size and whether it
+// was truncated.
+func (p *Program) Walk(entry int, opt WalkOptions, emit func(Step) bool) (WalkResult, error) {
+	if !p.finalized {
+		return WalkResult{}, fmt.Errorf("cfg: walk of non-finalized program")
+	}
+	if entry < 0 || entry >= len(p.Funcs) {
+		return WalkResult{}, fmt.Errorf("cfg: walk entry %d out of range", entry)
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 128
+	}
+	w := &walker{
+		p:          p,
+		rng:        rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x9e3779b97f4a7c15)),
+		emit:       emit,
+		opt:        opt,
+		execCounts: make([]uint32, len(p.Blocks)),
+	}
+	w.walkFunc(entry)
+	return w.res, w.err
+}
+
+// step emits one block execution; it returns false when the walk must stop.
+func (w *walker) step(blk BlockID, taken bool) bool {
+	b := &w.p.Blocks[blk]
+	if !w.emit(Step{Block: blk, Taken: taken}) {
+		w.res.Truncated = true
+		return false
+	}
+	w.res.Steps++
+	w.res.Instrs += uint64(b.NumInstr)
+	if w.opt.MaxInstr > 0 && w.res.Instrs >= w.opt.MaxInstr {
+		w.res.Truncated = true
+		return false
+	}
+	return true
+}
+
+func (w *walker) walkFunc(fi int) bool {
+	if w.depth >= w.opt.MaxDepth {
+		w.err = ErrDepth
+		return false
+	}
+	w.depth++
+	defer func() { w.depth-- }()
+	f := &w.p.Funcs[fi]
+	if f.Body != nil {
+		if !w.walkNode(f.Body) {
+			return false
+		}
+	}
+	return w.step(f.Ret, true)
+}
+
+func (w *walker) walkNode(n Node) bool {
+	switch v := n.(type) {
+	case *Straight:
+		return w.step(v.blk, false)
+	case *Seq:
+		for _, c := range v.Nodes {
+			if !w.walkNode(c) {
+				return false
+			}
+		}
+		return true
+	case *If:
+		var thenTaken bool
+		if v.Period >= 2 {
+			cnt := w.execCounts[v.condBlk]
+			w.execCounts[v.condBlk]++
+			thenTaken = cnt%uint32(v.Period) != 0
+		} else {
+			thenTaken = w.rng.Float64() < v.ThenBias
+		}
+		// The lowered conditional is taken when control skips the
+		// then-part.
+		if !w.step(v.condBlk, !thenTaken) {
+			return false
+		}
+		if thenTaken {
+			if !w.walkNode(v.Then) {
+				return false
+			}
+			if v.jmpBlk != NoBlock {
+				return w.step(v.jmpBlk, true)
+			}
+			return true
+		}
+		if v.Else != nil {
+			return w.walkNode(v.Else)
+		}
+		return true
+	case *Loop:
+		var trips int
+		if v.Fixed {
+			trips = int(v.MeanTrips + 0.5)
+			if trips < 1 {
+				trips = 1
+			}
+		} else {
+			trips = w.sampleTrips(v.MeanTrips)
+		}
+		for i := 0; i < trips; i++ {
+			if !w.walkNode(v.Body) {
+				return false
+			}
+			back := i < trips-1
+			if !w.step(v.latchBlk, back) {
+				return false
+			}
+		}
+		return true
+	case *Call:
+		if !w.step(v.blk, true) {
+			return false
+		}
+		return w.walkFunc(v.Callee)
+	case *IndirectCall:
+		callee := v.Callees[w.sampleIndex(v.Weights, len(v.Callees))]
+		if !w.step(v.blk, true) {
+			return false
+		}
+		return w.walkFunc(callee)
+	case *Switch:
+		ci := w.sampleIndex(v.Weights, len(v.Cases))
+		if !w.step(v.dispatchBlk, true) {
+			return false
+		}
+		if !w.walkNode(v.Cases[ci]) {
+			return false
+		}
+		if ci < len(v.Cases)-1 {
+			return w.step(v.caseJmps[ci], true)
+		}
+		return true
+	default:
+		w.err = fmt.Errorf("cfg: unknown node type %T", n)
+		return false
+	}
+}
+
+// sampleTrips draws a loop trip count around the mean with ±25% jitter,
+// modeling the stable trip counts typical of real code.
+func (w *walker) sampleTrips(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	t := int(mean*(0.75+0.5*w.rng.Float64()) + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// sampleIndex draws an index in [0,n) according to weights; nil or
+// mismatched weights yield a uniform draw.
+func (w *walker) sampleIndex(weights []float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if len(weights) != n {
+		return w.rng.IntN(n)
+	}
+	var total float64
+	for _, wt := range weights {
+		total += wt
+	}
+	if total <= 0 {
+		return w.rng.IntN(n)
+	}
+	x := w.rng.Float64() * total
+	for i, wt := range weights {
+		x -= wt
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}

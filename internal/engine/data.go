@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"math/rand/v2"
+
+	"ignite/internal/cache"
+)
+
+// dataBase is the start of the synthetic data segment. Addresses are a pure
+// function of the data configuration, so successive invocations of the same
+// function touch the same data — warm across back-to-back invocations, cold
+// after a thrash.
+const dataBase = 0x10_0000_0000
+
+// dataStream generates the per-invocation data access stream: a hot/cold
+// mix of random accesses over the function's data footprint plus sequential
+// streams that the baseline stride prefetcher covers.
+type dataStream struct {
+	cfg DataConfig
+	rng *rand.Rand
+
+	hotBytes  uint64
+	coldBytes uint64
+
+	// Sequential stream cursors (buffer scans, serialization).
+	streams [4]uint64
+
+	opCredit float64
+}
+
+func (d *dataStream) init(cfg *DataConfig) {
+	d.cfg = *cfg
+	if d.cfg.FootprintBytes < 1<<16 {
+		d.cfg.FootprintBytes = 1 << 16
+	}
+	d.hotBytes = uint64(float64(d.cfg.FootprintBytes) * d.cfg.HotRegionFrac)
+	if d.hotBytes < 4096 {
+		d.hotBytes = 4096
+	}
+	d.coldBytes = d.cfg.FootprintBytes - d.hotBytes
+	if d.coldBytes < 4096 {
+		d.coldBytes = 4096
+	}
+}
+
+// beginInvocation reseeds the stream and restarts the sequential cursors.
+func (d *dataStream) beginInvocation(seed uint64) {
+	d.rng = rand.New(rand.NewPCG(seed^0xdada_5eed, seed+0x1234_5678))
+	for i := range d.streams {
+		d.streams[i] = dataBase + d.hotBytes + uint64(i)*(d.coldBytes/uint64(len(d.streams)))
+	}
+	d.opCredit = 0
+}
+
+// opsFor returns how many memory operations a block of n instructions
+// performs, using a fractional accumulator so the long-run rate matches
+// MemOpFrac exactly.
+func (d *dataStream) opsFor(n int) int {
+	d.opCredit += float64(n) * d.cfg.MemOpFrac
+	ops := int(d.opCredit)
+	d.opCredit -= float64(ops)
+	return ops
+}
+
+// next returns the next data address and whether it is a sequential-stream
+// access (stride-prefetchable).
+func (d *dataStream) next() (addr uint64, strided bool) {
+	r := d.rng.Float64()
+	switch {
+	case r < d.cfg.StrideFrac:
+		i := d.rng.IntN(len(d.streams))
+		d.streams[i] += 8
+		// Wrap within the cold region to bound the footprint.
+		if d.streams[i] >= dataBase+d.hotBytes+d.coldBytes {
+			d.streams[i] = dataBase + d.hotBytes
+		}
+		return d.streams[i], true
+	case r < d.cfg.StrideFrac+(1-d.cfg.StrideFrac)*d.cfg.HotFrac:
+		return dataBase + d.rng.Uint64N(d.hotBytes), false
+	default:
+		return dataBase + d.hotBytes + d.rng.Uint64N(d.coldBytes), false
+	}
+}
+
+// access performs one data access against the hierarchy and returns the
+// back-end stall cycles it exposes after out-of-order latency hiding and
+// miss-level parallelism.
+func (e *Engine) dataAccess() float64 {
+	addr, strided := e.data.next()
+	lat, _ := e.hier.AccessData(addr)
+	if strided {
+		// The baseline stride prefetcher covers the stream's next
+		// lines.
+		la := e.hier.L1D.LineAddr(addr)
+		e.hier.PrefetchData(la + cache.LineBytesConst)
+		e.hier.PrefetchData(la + 2*cache.LineBytesConst)
+	}
+	exposed := float64(lat - e.data.cfg.HideLatency)
+	if exposed <= 0 {
+		return 0
+	}
+	mlp := e.data.cfg.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	return exposed / mlp
+}

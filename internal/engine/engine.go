@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"ignite/internal/bpred"
+	"ignite/internal/btb"
+	"ignite/internal/cache"
+	"ignite/internal/cfg"
+	"ignite/internal/memsys"
+	"ignite/internal/tlb"
+)
+
+// Companion is a prefetcher or restore mechanism that runs alongside the
+// core (Jukebox, Confluence, Ignite replay). The engine drives companions
+// with elapsed cycles and front-end events; companions act on the shared
+// hardware structures they were constructed with.
+type Companion interface {
+	Name() string
+	// BeginInvocation is called when a new invocation starts on the core.
+	BeginInvocation()
+	// Tick grants the companion `cycles` cycles of background operation
+	// at absolute time `now`.
+	Tick(now uint64, cycles int)
+	// OnInstrFetch observes every correct-path demand instruction line
+	// fetch and the level that served it.
+	OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64)
+}
+
+// Engine owns the modeled core: cache hierarchy, BPU (BTB + CBP), ITLB,
+// the program being executed, and any companions. One Engine instance
+// persists across invocations so that microarchitectural state carries over
+// exactly as the lukewarm protocol dictates.
+type Engine struct {
+	prog *cfg.Program
+	cfg  Config
+
+	hier    *cache.Hierarchy
+	btb     *btb.BTB
+	cbp     *bpred.CBP
+	itlb    *tlb.TLB
+	traffic *memsys.Traffic
+
+	companions []Companion
+
+	// now is the absolute cycle clock, monotonic across invocations;
+	// nowf carries the fractional part. fetchClock tracks front-end time
+	// only (base + fetch + speculation cycles, excluding back-end
+	// stalls): the decoupled fetch engine keeps consuming instructions
+	// while the back end is stalled, so prefetch timeliness must be
+	// judged against fetch time.
+	now        uint64
+	nowf       float64
+	fetchClock float64
+
+	// pendingLine tracks in-flight fill completion times by line address
+	// so a demand hit on a just-issued prefetch or wrong-path fill is
+	// charged the remaining latency and counted as a miss.
+	pendingLine map[uint64]pendingFill
+
+	// Reusable per-invocation buffers.
+	steps []cfg.Step
+	evals []stepEval
+
+	ras  *ras
+	data dataStream
+}
+
+// stepEval memoizes the front-end's one-time BPU evaluation of a step; the
+// lookahead and the commit path must agree on what the front-end did.
+type stepEval struct {
+	done      bool
+	follows   bool // front-end continues on the correct path past this step
+	btbHit    bool
+	predTaken bool // direction the CBP predicted (conditionals)
+	target    uint64
+	boomerang bool // BTB miss repaired by Boomerang predecode
+}
+
+// New builds an engine for the given program and configuration.
+func New(prog *cfg.Program, c Config) *Engine {
+	traffic := memsys.NewTraffic()
+	e := &Engine{
+		prog:        prog,
+		cfg:         c,
+		hier:        cache.DefaultHierarchy(traffic),
+		btb:         btb.MustNew(c.BTB),
+		cbp:         bpred.NewCBP(),
+		itlb:        tlb.MustNew(c.ITLB),
+		traffic:     traffic,
+		pendingLine: make(map[uint64]pendingFill),
+	}
+	e.hier.Lat = c.Lat
+	e.ras = newRAS(c.RASDepth)
+	e.data.init(&c.Data)
+	return e
+}
+
+// Program returns the program under execution.
+func (e *Engine) Program() *cfg.Program { return e.prog }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Hierarchy exposes the cache hierarchy.
+func (e *Engine) Hierarchy() *cache.Hierarchy { return e.hier }
+
+// BTB exposes the branch target buffer.
+func (e *Engine) BTB() *btb.BTB { return e.btb }
+
+// CBP exposes the conditional branch predictor.
+func (e *Engine) CBP() *bpred.CBP { return e.cbp }
+
+// ITLB exposes the instruction TLB.
+func (e *Engine) ITLB() *tlb.TLB { return e.itlb }
+
+// Traffic exposes the DRAM traffic tracker.
+func (e *Engine) Traffic() *memsys.Traffic { return e.traffic }
+
+// Now returns the absolute cycle clock.
+func (e *Engine) Now() uint64 { return e.now }
+
+// AddCompanion attaches a companion prefetcher/restorer.
+func (e *Engine) AddCompanion(c Companion) {
+	e.companions = append(e.companions, c)
+}
+
+// ClearCompanions detaches all companions.
+func (e *Engine) ClearCompanions() { e.companions = e.companions[:0] }
+
+// Thrash models interleaved executions of other functions: all caches, the
+// BTB, the ITLB and the TAGE tables are flushed and the bimodal predictor
+// is overwritten with random state (the paper's Section 5.3 methodology).
+func (e *Engine) Thrash(seed uint64) {
+	e.hier.FlushAll()
+	e.btb.Flush()
+	e.itlb.Flush()
+	e.cbp.FlushAll(seed)
+	e.ras.reset()
+	clear(e.pendingLine)
+}
+
+// ThrashSelective flushes like Thrash but optionally preserves the BTB,
+// BIM or TAGE contents across the thrash — the warm-state sensitivity
+// studies of Figures 4 and 5.
+func (e *Engine) ThrashSelective(seed uint64, keepBTB, keepBIM, keepTAGE bool) {
+	var btbState *btb.Snapshot
+	if keepBTB {
+		btbState = e.btb.Snapshot()
+	}
+	cbpState := e.cbp.Snapshot()
+
+	e.Thrash(seed)
+
+	if keepBTB {
+		e.btb.Restore(btbState)
+	}
+	if keepBIM {
+		e.cbp.RestoreBimOnly(cbpState)
+	}
+	if keepTAGE {
+		e.cbp.RestoreTageOnly(cbpState)
+	}
+}
+
+// NotePendingLine lets companions report the completion time of prefetches
+// they issued, so a demand access arriving before completion is charged the
+// remaining latency. extraLat is added on top of the level's fill latency
+// (e.g. Confluence's metadata lookup).
+func (e *Engine) NotePendingLine(la uint64, from cache.Level, extraLat int) {
+	lat := extraLat
+	switch from {
+	case cache.LvlL2:
+		lat += e.cfg.Lat.L2
+	case cache.LvlLLC:
+		lat += e.cfg.Lat.LLC
+	case cache.LvlMem:
+		lat += e.cfg.Lat.Mem
+	}
+	if lat <= 0 {
+		return
+	}
+	done := uint64(e.fetchClock) + uint64(lat)
+	if cur, ok := e.pendingLine[la]; !ok || done < cur.done {
+		e.pendingLine[la] = pendingFill{done: done, from: from}
+	}
+}
+
+// ResetStats clears every statistics counter (between warm-up and
+// measurement) without touching microarchitectural contents.
+func (e *Engine) ResetStats() {
+	e.hier.ResetStats()
+	e.btb.ResetStats()
+	e.cbp.ResetStats()
+	e.itlb.ResetStats()
+	e.traffic.Reset()
+}

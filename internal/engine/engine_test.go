@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"testing"
+
+	"ignite/internal/cache"
+	"ignite/internal/cfg"
+)
+
+// buildProgram makes a small deterministic program for engine tests.
+func buildProgram(t *testing.T) *cfg.Program {
+	t.Helper()
+	p, _, err := cfg.Generate(cfg.GenParams{
+		Seed:           11,
+		CodeKiB:        96,
+		BranchSites:    2500,
+		MeanFuncBytes:  2048,
+		IndirectFrac:   0.3,
+		PeriodicFrac:   0.1,
+		NeverTakenFrac: 0.15,
+		HardFrac:       0.05,
+		FixedLoopFrac:  0.7,
+		MeanLoopTrips:  2.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, e *Engine, seed uint64) *InvocationStats {
+	t.Helper()
+	st, err := e.RunInvocation(InvocationOptions{Seed: seed, MaxInstr: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestInvocationBasicAccounting(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	st := run(t, e, 1)
+	if st.Instrs == 0 || st.Steps == 0 {
+		t.Fatal("empty invocation")
+	}
+	if st.Cycles <= float64(st.Instrs)/4 {
+		t.Errorf("cycles %.0f below retirement floor", st.Cycles)
+	}
+	total := st.Stack.Retiring + st.Stack.Fetch + st.Stack.BadSpec + st.Stack.Backend
+	if st.Cycles != total {
+		t.Errorf("cycles %.1f != stack total %.1f", st.Cycles, total)
+	}
+	if st.CondBranches == 0 || st.TakenBranches == 0 {
+		t.Error("no branches executed")
+	}
+	if st.CondMispredInitial > st.CondMispredicts {
+		t.Error("initial mispredicts exceed total")
+	}
+}
+
+func TestInvocationDeterminism(t *testing.T) {
+	a := New(buildProgram(t), DefaultConfig())
+	b := New(buildProgram(t), DefaultConfig())
+	sa := run(t, a, 5)
+	sb := run(t, b, 5)
+	if sa.Cycles != sb.Cycles || sa.L1IMisses != sb.L1IMisses ||
+		sa.CondMispredicts != sb.CondMispredicts || sa.BTBMisses != sb.BTBMisses {
+		t.Errorf("nondeterministic: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestWarmupReducesMisses(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	first := run(t, e, 1)
+	second := run(t, e, 2) // same function, warm state
+	if second.L1IMisses >= first.L1IMisses {
+		t.Errorf("warm L1I misses %d >= cold %d", second.L1IMisses, first.L1IMisses)
+	}
+	if second.BTBMisses >= first.BTBMisses {
+		t.Errorf("warm BTB misses %d >= cold %d", second.BTBMisses, first.BTBMisses)
+	}
+	if second.CondMispredicts >= first.CondMispredicts {
+		t.Errorf("warm mispredicts %d >= cold %d", second.CondMispredicts, first.CondMispredicts)
+	}
+}
+
+func TestThrashRestoresColdBehaviour(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	run(t, e, 1)
+	warm := run(t, e, 2)
+	e.Thrash(99)
+	cold := run(t, e, 3)
+	if cold.L1IMisses <= warm.L1IMisses {
+		t.Errorf("thrashed L1I misses %d <= warm %d", cold.L1IMisses, warm.L1IMisses)
+	}
+	if cold.CPI() <= warm.CPI() {
+		t.Errorf("thrashed CPI %.3f <= warm %.3f", cold.CPI(), warm.CPI())
+	}
+}
+
+func TestThrashSelectivePreservesBTB(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	run(t, e, 1)
+	run(t, e, 2)
+	occ := e.BTB().Occupancy()
+	e.ThrashSelective(7, true, false, false)
+	if got := e.BTB().Occupancy(); got != occ {
+		t.Errorf("warm-BTB thrash changed occupancy %d -> %d", occ, got)
+	}
+	if e.Hierarchy().L1I.Occupancy() != 0 {
+		t.Error("caches survived selective thrash")
+	}
+	// And preserving it should reduce BTB misses vs full thrash.
+	kept := run(t, e, 3)
+	e.Thrash(8)
+	cold := run(t, e, 4)
+	if kept.BTBMisses >= cold.BTBMisses {
+		t.Errorf("warm BTB misses %d >= cold %d", kept.BTBMisses, cold.BTBMisses)
+	}
+}
+
+func TestThrashSelectivePreservesCBP(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	run(t, e, 1)
+	run(t, e, 2)
+	e.ThrashSelective(7, false, true, true)
+	warmCBP := run(t, e, 3)
+	e.Thrash(8)
+	coldCBP := run(t, e, 4)
+	if warmCBP.CondMispredicts >= coldCBP.CondMispredicts {
+		t.Errorf("warm CBP mispredicts %d >= cold %d", warmCBP.CondMispredicts, coldCBP.CondMispredicts)
+	}
+}
+
+func TestFDPImprovesOverNL(t *testing.T) {
+	prog := buildProgram(t)
+	nl := New(prog, DefaultConfig())
+	cfgF := DefaultConfig()
+	cfgF.FDPEnabled = true
+	fdp := New(prog, cfgF)
+	// Warm both, then compare.
+	run(t, nl, 1)
+	run(t, fdp, 1)
+	a := run(t, nl, 2)
+	b := run(t, fdp, 2)
+	if b.Stack.Fetch > a.Stack.Fetch*1.05 {
+		t.Errorf("FDP fetch stall %.0f much worse than NL %.0f", b.Stack.Fetch, a.Stack.Fetch)
+	}
+}
+
+func TestBoomerangReducesBTBMisses(t *testing.T) {
+	prog := buildProgram(t)
+	cfgF := DefaultConfig()
+	cfgF.FDPEnabled = true
+	fdp := New(prog, cfgF)
+	cfgB := cfgF
+	cfgB.BoomerangEnabled = true
+	boom := New(prog, cfgB)
+	fdp.Thrash(1)
+	boom.Thrash(1)
+	a := run(t, fdp, 2)
+	b := run(t, boom, 2)
+	if b.BTBMisses >= a.BTBMisses {
+		t.Errorf("Boomerang BTB misses %d >= FDP %d", b.BTBMisses, a.BTBMisses)
+	}
+	if b.BoomerangFills == 0 {
+		t.Error("no Boomerang fills")
+	}
+}
+
+func TestIdealFrontEnd(t *testing.T) {
+	prog := buildProgram(t)
+	cfgI := DefaultConfig()
+	cfgI.PerfectL1I = true
+	cfgI.PerfectBTB = true
+	ideal := New(prog, cfgI)
+	ideal.Thrash(1)
+	st := run(t, ideal, 2)
+	if st.L1IMisses != 0 || st.Stack.Fetch != 0 {
+		t.Errorf("perfect L1I missed: %d misses, %.1f fetch cycles", st.L1IMisses, st.Stack.Fetch)
+	}
+	if st.BTBMisses != 0 || st.TargetMispredicts != 0 {
+		t.Errorf("perfect BTB missed: %d + %d", st.BTBMisses, st.TargetMispredicts)
+	}
+	// Conditional mispredictions remain (CBP is real).
+	if st.CondMispredicts == 0 {
+		t.Error("ideal front end should still mispredict conditionals")
+	}
+}
+
+func TestMPKIHelpers(t *testing.T) {
+	st := &InvocationStats{
+		Instrs: 1000, L1IMisses: 5, BTBMisses: 3, TargetMispredicts: 1,
+		CondMispredicts: 7, Cycles: 1500,
+	}
+	if st.L1IMPKI() != 5 || st.BTBMPKI() != 4 || st.CBPMPKI() != 7 || st.BPUMPKI() != 11 {
+		t.Errorf("MPKI helpers: %v %v %v %v", st.L1IMPKI(), st.BTBMPKI(), st.CBPMPKI(), st.BPUMPKI())
+	}
+	if st.CPI() != 1.5 {
+		t.Errorf("CPI = %v", st.CPI())
+	}
+	empty := &InvocationStats{}
+	if empty.CPI() != 0 {
+		t.Error("zero-instr CPI should be 0")
+	}
+}
+
+func TestDataStreamDeterministicAndBounded(t *testing.T) {
+	var d dataStream
+	cfg := DefaultDataConfig()
+	d.init(&cfg)
+	d.beginInvocation(3)
+	seen := map[uint64]bool{}
+	lo := uint64(dataBase)
+	hi := dataBase + cfg.FootprintBytes + 4096
+	for i := 0; i < 10000; i++ {
+		a, _ := d.next()
+		if a < lo || a > hi {
+			t.Fatalf("address %#x outside footprint [%#x,%#x]", a, lo, hi)
+		}
+		seen[a&^63] = true
+	}
+	if len(seen) < 100 {
+		t.Error("data stream touches too few lines")
+	}
+	// Determinism.
+	var d2 dataStream
+	d2.init(&cfg)
+	d2.beginInvocation(3)
+	a1, _ := d2.next()
+	d.beginInvocation(3)
+	a2, _ := d.next()
+	if a1 != a2 {
+		t.Error("data stream not deterministic per seed")
+	}
+}
+
+func TestOpsForMatchesRate(t *testing.T) {
+	var d dataStream
+	cfg := DefaultDataConfig()
+	cfg.MemOpFrac = 0.3
+	d.init(&cfg)
+	d.beginInvocation(1)
+	total := 0
+	for i := 0; i < 1000; i++ {
+		total += d.opsFor(10)
+	}
+	if total < 2900 || total > 3100 {
+		t.Errorf("ops = %d for 10000 instrs at 0.3, want ~3000", total)
+	}
+}
+
+func TestCompanionReceivesEvents(t *testing.T) {
+	e := New(buildProgram(t), DefaultConfig())
+	tc := &testCompanion{}
+	e.AddCompanion(tc)
+	run(t, e, 1)
+	if tc.begins != 1 || tc.ticks == 0 || tc.fetches == 0 {
+		t.Errorf("companion events: begins=%d ticks=%d fetches=%d", tc.begins, tc.ticks, tc.fetches)
+	}
+}
+
+type testCompanion struct {
+	begins, ticks, fetches int
+}
+
+func (c *testCompanion) Name() string     { return "test" }
+func (c *testCompanion) BeginInvocation() { c.begins++ }
+func (c *testCompanion) Tick(uint64, int) { c.ticks++ }
+func (c *testCompanion) OnInstrFetch(la uint64, lvl cache.Level, now uint64) {
+	c.fetches++
+}

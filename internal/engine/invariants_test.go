@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ignite/internal/cfg"
+)
+
+// TestInvocationInvariantsProperty runs invocations with random seeds under
+// several configurations and checks structural invariants that must hold no
+// matter what the trace looks like.
+func TestInvocationInvariantsProperty(t *testing.T) {
+	prog := buildProgram(t)
+	configs := map[string]Config{}
+	base := DefaultConfig()
+	configs["nl"] = base
+	fdp := base
+	fdp.FDPEnabled = true
+	configs["fdp"] = fdp
+	boom := fdp
+	boom.BoomerangEnabled = true
+	configs["boomerang"] = boom
+	ideal := fdp
+	ideal.PerfectL1I = true
+	ideal.PerfectBTB = true
+	configs["ideal"] = ideal
+
+	for name, ec := range configs {
+		eng := New(prog, ec)
+		f := func(seed uint64) bool {
+			if seed%3 == 0 {
+				eng.Thrash(seed)
+			}
+			st, err := eng.RunInvocation(InvocationOptions{Seed: seed, MaxInstr: 40_000})
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			// Non-negative stack components.
+			if st.Stack.Retiring < 0 || st.Stack.Fetch < 0 || st.Stack.BadSpec < 0 || st.Stack.Backend < 0 {
+				t.Logf("%s: negative stack %+v", name, st.Stack)
+				return false
+			}
+			// Cycles at least the retirement floor.
+			if st.Cycles < float64(st.Instrs)/float64(ec.Width)-1 {
+				t.Logf("%s: cycles below floor", name)
+				return false
+			}
+			// Miss counts bounded by opportunity counts.
+			if st.CondMispredicts > st.CondBranches {
+				t.Logf("%s: mispredicts > branches", name)
+				return false
+			}
+			if st.BTBMisses > st.TakenBranches {
+				t.Logf("%s: BTB misses > taken branches", name)
+				return false
+			}
+			if st.CondMispredInitial > st.CondMispredicts {
+				t.Logf("%s: initial > total mispredicts", name)
+				return false
+			}
+			// Resteers can't exceed resolved branch events.
+			if st.Resteers > st.CondBranches+st.TakenBranches {
+				t.Logf("%s: resteers too high", name)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTraceMaterializationMatchesWalk: the engine's internal trace must be
+// exactly the walker's output for the same seed.
+func TestTraceMaterializationMatchesWalk(t *testing.T) {
+	prog := buildProgram(t)
+	eng := New(prog, DefaultConfig())
+	if _, err := eng.RunInvocation(InvocationOptions{Seed: 9, MaxInstr: 30_000}); err != nil {
+		t.Fatal(err)
+	}
+	var want []cfg.Step
+	prog.Walk(0, cfg.WalkOptions{Seed: 9, MaxInstr: 30_000}, func(s cfg.Step) bool {
+		want = append(want, s)
+		return true
+	})
+	if len(eng.steps) != len(want) {
+		t.Fatalf("engine trace %d steps, walker %d", len(eng.steps), len(want))
+	}
+	for i := range want {
+		if eng.steps[i] != want[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}
+
+// TestClockMonotonicity: the cycle clocks never go backwards across
+// invocations and thrashes.
+func TestClockMonotonicity(t *testing.T) {
+	prog := buildProgram(t)
+	eng := New(prog, DefaultConfig())
+	var last uint64
+	for i := uint64(0); i < 4; i++ {
+		if i == 2 {
+			eng.Thrash(i)
+		}
+		if _, err := eng.RunInvocation(InvocationOptions{Seed: i, MaxInstr: 20_000}); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Now() < last {
+			t.Fatalf("clock went backwards: %d -> %d", last, eng.Now())
+		}
+		last = eng.Now()
+	}
+}
+
+func TestRunInvocationErrors(t *testing.T) {
+	// A non-finalized program must fail cleanly.
+	p := cfg.NewProgram("broken")
+	p.AddFunction("f", &cfg.Straight{N: 4}, 1)
+	eng := New(p, DefaultConfig())
+	if _, err := eng.RunInvocation(InvocationOptions{Seed: 1}); err == nil {
+		t.Error("expected error for non-finalized program")
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+// ras is the return address stack: a fixed-depth circular predictor for
+// return targets. Calls push their fall-through address; returns pop. When
+// the call depth exceeds the RAS capacity, older entries are overwritten
+// and the eventual returns to them mispredict — the classic RAS-overflow
+// behaviour of deep call chains.
+type ras struct {
+	entries []uint64
+	top     int // index of the next free slot
+	depth   int // current logical depth (may exceed len(entries))
+	// Overflows counts pushes that overwrote a live entry.
+	overflows uint64
+}
+
+func newRAS(capacity int) *ras {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ras{entries: make([]uint64, capacity)}
+}
+
+// push records a call's return address.
+func (r *ras) push(addr uint64) {
+	if r.depth >= len(r.entries) {
+		r.overflows++
+	}
+	r.entries[r.top] = addr
+	r.top = (r.top + 1) % len(r.entries)
+	r.depth++
+}
+
+// pop predicts the target of a return and reports whether the prediction
+// is trustworthy (false once the stack has wrapped past this depth).
+func (r *ras) pop() (addr uint64, valid bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	wrapped := r.depth > len(r.entries)
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return r.entries[r.top], !wrapped
+}
+
+// reset clears the stack (pipeline flush on context switch).
+func (r *ras) reset() {
+	r.top = 0
+	r.depth = 0
+}

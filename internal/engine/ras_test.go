@@ -1,0 +1,57 @@
+package engine
+
+import "testing"
+
+func TestRASBasics(t *testing.T) {
+	r := newRAS(4)
+	r.push(100)
+	r.push(200)
+	if a, ok := r.pop(); !ok || a != 200 {
+		t.Fatalf("pop = %d,%v", a, ok)
+	}
+	if a, ok := r.pop(); !ok || a != 100 {
+		t.Fatalf("pop = %d,%v", a, ok)
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop of empty stack claimed valid")
+	}
+}
+
+func TestRASOverflow(t *testing.T) {
+	r := newRAS(2)
+	for i := uint64(1); i <= 4; i++ {
+		r.push(i * 10)
+	}
+	if r.overflows != 2 {
+		t.Fatalf("overflows = %d, want 2", r.overflows)
+	}
+	// The two most recent entries survive but are flagged untrustworthy
+	// because the stack wrapped.
+	if a, ok := r.pop(); ok || a != 40 {
+		t.Fatalf("pop after wrap = %d valid=%v, want 40/false", a, ok)
+	}
+}
+
+func TestRASDeepCallChainsMispredict(t *testing.T) {
+	// A core with a tiny RAS must see return target mispredictions that a
+	// deep-enough RAS avoids.
+	prog := buildProgram(t)
+	small := DefaultConfig()
+	small.RASDepth = 2
+	big := DefaultConfig()
+
+	a := New(prog, small)
+	b := New(prog, big)
+	sa := run(t, a, 3)
+	sb := run(t, b, 3)
+	if sa.RASOverflows == 0 {
+		t.Fatal("deep call tree never overflowed a 2-entry RAS")
+	}
+	if sa.TargetMispredicts <= sb.TargetMispredicts {
+		t.Errorf("tiny RAS target mispredicts %d <= full RAS %d",
+			sa.TargetMispredicts, sb.TargetMispredicts)
+	}
+	if sb.RASOverflows != 0 {
+		t.Errorf("32-entry RAS overflowed %d times on the test program", sb.RASOverflows)
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ignite/internal/engine"
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/memsys"
+	"ignite/internal/sim"
+	"ignite/internal/stats"
+)
+
+func init() {
+	registry = append(registry,
+		regEntry{"abl-codec", "Ablation: metadata delta-field widths (paper footnote 6)", AblCodec},
+		regEntry{"abl-throttle", "Ablation: replay throttle threshold (Section 4.2)", AblThrottle},
+		regEntry{"abl-btb", "Ablation: BTB capacity (Ice-Lake-class 6K vs Sapphire Rapids 12K)", AblBTB},
+		regEntry{"abl-metadata", "Ablation: metadata budget per function", AblMetadata},
+	)
+}
+
+// AblCodec sweeps the compact-record delta widths and reports bits per
+// record — the study behind the paper's footnote 6 claim that 7-bit
+// branch-PC and 21-bit target deltas compress best.
+func AblCodec(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "abl-codec", Title: Title("abl-codec")}
+	t := stats.NewTable(r.Title,
+		"ΔPC bits", "Δtarget bits", "compact %", "bits/record", "metadata KiB")
+
+	configs := []struct{ pc, tgt uint }{
+		{4, 12}, {7, 14}, {7, 21}, {10, 21}, {14, 28}, {21, 7},
+	}
+	// One representative workload is enough for the codec study (and keeps
+	// the sweep cheap); use the first selected workload.
+	spec := opt.Workloads[0]
+	prog, _, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range configs {
+		codec := ignite.CodecConfig{DeltaPCBits: w.pc, DeltaTargetBits: w.tgt, FullAddrBits: 48}
+		ec := engine.DefaultConfig()
+		eng := engine.New(prog, ec)
+		region := memsys.NewRegion(0, 4<<20) // unbounded for the study
+		rec := ignite.NewRecorder(codec, region, nil)
+		rec.Attach(eng.BTB())
+		rec.Start()
+		eng.Thrash(1)
+		if _, err := eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr()}); err != nil {
+			return nil, err
+		}
+		rec.Stop()
+		row := fmt.Sprintf("%d/%d", w.pc, w.tgt)
+		bitsPerRec := 0.0
+		compactPct := 0.0
+		if rec.Records() > 0 {
+			bitsPerRec = float64(region.Used()*8) / float64(rec.Records())
+			compactPct = float64(recCompact(rec)) / float64(rec.Records()) * 100
+		}
+		t.AddRowf(fmt.Sprintf("%d", w.pc), fmt.Sprintf("%d", w.tgt),
+			compactPct, bitsPerRec, float64(region.Used())/1024)
+		r.set(row, "bitsPerRecord", bitsPerRec)
+		r.set(row, "compactPct", compactPct)
+		r.set(row, "metadataKiB", float64(region.Used())/1024)
+	}
+	r.Table = t
+	return r, nil
+}
+
+func recCompact(r *ignite.Recorder) int { return r.CompactRecords() }
+
+// AblThrottle sweeps the replay throttle threshold: too low starves the
+// restore, too high lets replay thrash the BTB ahead of use.
+func AblThrottle(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "abl-throttle", Title: Title("abl-throttle")}
+	t := stats.NewTable(r.Title, "threshold", "speedup over NL", "BTB MPKI", "L1I MPKI")
+	for _, thr := range []int{64, 256, 1024, 4096, 1 << 20} {
+		var speedups, btbs, l1s []float64
+		for _, spec := range opt.Workloads {
+			prog, _, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{})
+			if err != nil {
+				return nil, err
+			}
+			baseRes, err := base.Run(lukewarm.Interleaved)
+			if err != nil {
+				return nil, err
+			}
+			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.Tweaks{ThrottleThreshold: thr})
+			if err != nil {
+				return nil, err
+			}
+			res, err := st.Run(lukewarm.Interleaved)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, baseRes.CPI()/res.CPI())
+			btbs = append(btbs, res.BTBMPKI())
+			l1s = append(l1s, res.L1IMPKI())
+		}
+		label := fmt.Sprintf("%d", thr)
+		if thr == 1<<20 {
+			label = "unthrottled"
+		}
+		t.AddRowf(label, stats.GeoMean(speedups), stats.Mean(btbs), stats.Mean(l1s))
+		r.set(label, "speedup", stats.GeoMean(speedups))
+		r.set(label, "btbmpki", stats.Mean(btbs))
+	}
+	r.Table = t
+	return r, nil
+}
+
+// AblBTB compares Ice Lake's 5K-entry BTB against the modeled 12K-entry
+// Sapphire Rapids BTB (the paper states the overall trends are unaffected).
+func AblBTB(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "abl-btb", Title: Title("abl-btb")}
+	t := stats.NewTable(r.Title, "BTB entries", "config", "speedup over NL", "BTB MPKI")
+	for _, entries := range []int{6144, 12288, 24576} { // 6-way: sets must be a power of two
+		for _, kind := range []sim.Kind{sim.KindBoomerangJB, sim.KindIgnite} {
+			var speedups, btbs []float64
+			for _, spec := range opt.Workloads {
+				prog, _, err := spec.Build()
+				if err != nil {
+					return nil, err
+				}
+				base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{BTBEntries: entries})
+				if err != nil {
+					return nil, err
+				}
+				baseRes, err := base.Run(lukewarm.Interleaved)
+				if err != nil {
+					return nil, err
+				}
+				st, err := sim.NewWithProgram(spec, prog, kind, sim.Tweaks{BTBEntries: entries})
+				if err != nil {
+					return nil, err
+				}
+				res, err := st.Run(lukewarm.Interleaved)
+				if err != nil {
+					return nil, err
+				}
+				speedups = append(speedups, baseRes.CPI()/res.CPI())
+				btbs = append(btbs, res.BTBMPKI())
+			}
+			t.AddRowf(entries, string(kind), stats.GeoMean(speedups), stats.Mean(btbs))
+			r.set(fmt.Sprintf("%d/%s", entries, kind), "speedup", stats.GeoMean(speedups))
+			r.set(fmt.Sprintf("%d/%s", entries, kind), "btbmpki", stats.Mean(btbs))
+		}
+	}
+	r.Table = t
+	return r, nil
+}
+
+// AblMetadata sweeps Ignite's per-function metadata budget (the paper caps
+// it at 120 KiB).
+func AblMetadata(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "abl-metadata", Title: Title("abl-metadata")}
+	t := stats.NewTable(r.Title, "budget KiB", "speedup over NL", "BTB MPKI", "records dropped")
+	for _, kib := range []int{8, 30, 60, 120, 240} {
+		var speedups, btbs, dropped []float64
+		for _, spec := range opt.Workloads {
+			prog, _, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{})
+			if err != nil {
+				return nil, err
+			}
+			baseRes, err := base.Run(lukewarm.Interleaved)
+			if err != nil {
+				return nil, err
+			}
+			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.Tweaks{MetadataBytes: kib << 10})
+			if err != nil {
+				return nil, err
+			}
+			res, err := st.Run(lukewarm.Interleaved)
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, baseRes.CPI()/res.CPI())
+			btbs = append(btbs, res.BTBMPKI())
+			dropped = append(dropped, float64(st.Ignite.Recorder().Dropped))
+		}
+		t.AddRowf(kib, stats.GeoMean(speedups), stats.Mean(btbs), stats.Mean(dropped))
+		r.set(fmt.Sprintf("%d", kib), "speedup", stats.GeoMean(speedups))
+		r.set(fmt.Sprintf("%d", kib), "dropped", stats.Mean(dropped))
+	}
+	r.Table = t
+	return r, nil
+}

@@ -1,0 +1,399 @@
+// Package experiments reproduces every table and figure of the paper's
+// motivation and evaluation sections. Each experiment runs the lukewarm
+// protocol over the 20 workloads (or a subset) under the relevant front-end
+// configurations and prints the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ignite/internal/engine"
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
+	"ignite/internal/stats"
+	"ignite/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Workloads selects the functions to run (default: all 20).
+	Workloads []workload.Spec
+	// Parallel bounds concurrent workload simulations (default NumCPU).
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.All()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	return o
+}
+
+// Result is a reproduced table/figure: a rendered table plus the raw values
+// keyed by row then column for programmatic checks.
+type Result struct {
+	ID     string
+	Title  string
+	Table  *stats.Table
+	Table2 *stats.Table // optional companion table (e.g. mean MPKIs)
+	Values map[string]map[string]float64
+}
+
+// Render returns the printable form of the result.
+func (r *Result) Render() string {
+	out := r.Table.String()
+	if r.Table2 != nil {
+		out += "\n" + r.Table2.String()
+	}
+	return out
+}
+
+// Get returns a value by row and column.
+func (r *Result) Get(row, col string) float64 {
+	if m, ok := r.Values[row]; ok {
+		return m[col]
+	}
+	return 0
+}
+
+func (r *Result) set(row, col string, v float64) {
+	if r.Values == nil {
+		r.Values = map[string]map[string]float64{}
+	}
+	if r.Values[row] == nil {
+		r.Values[row] = map[string]float64{}
+	}
+	r.Values[row][col] = v
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Result, error)
+
+type regEntry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// registry maps experiment IDs to runners, in presentation order. It is
+// populated in init to break the initialization cycle between runners and
+// Title.
+var registry []regEntry
+
+func init() {
+	// Prepend the paper's tables/figures; ablations may already have
+	// registered themselves from another file's init.
+	registry = append([]regEntry{
+		{"tab1", "Table 1: serverless functions and language runtimes", Table1},
+		{"tab2", "Table 2: simulated processor parameters", Table2},
+		{"fig1", "Figure 1: CPI stacks, interleaved vs back-to-back", Fig1},
+		{"fig2", "Figure 2: front-end working sets per invocation", Fig2},
+		{"fig3", "Figure 3: front-end prefetchers on lukewarm invocations", Fig3},
+		{"fig4", "Figure 4: sensitivity to warm BPU state", Fig4},
+		{"fig5", "Figure 5: sensitivity to warm CBP components", Fig5},
+		{"fig6", "Figure 6: initial vs subsequent mispredictions", Fig6},
+		{"fig8", "Figure 8: performance over next-line prefetcher", Fig8},
+		{"fig9a", "Figure 9a: miss coverage (L1I/BTB/CBP MPKI)", Fig9a},
+		{"fig9b", "Figure 9b: initial-misprediction coverage", Fig9b},
+		{"fig9c", "Figure 9c: restore accuracy", Fig9c},
+		{"fig10", "Figure 10: memory bandwidth breakdown", Fig10},
+		{"fig11", "Figure 11: bimodal initialization policies", Fig11},
+		{"fig12", "Figure 12: temporal-streaming prefetchers", Fig12},
+	}, registry...)
+}
+
+// IDs returns all experiment identifiers in presentation order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Title returns an experiment's title.
+func Title(id string) string {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Title
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, opt Options) (*Result, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// runConfig holds one named simulation cell.
+type runConfig struct {
+	Name  string
+	Kind  sim.Kind
+	Tweak sim.Tweaks
+	Mode  lukewarm.Mode
+}
+
+// cell is the outcome of one (workload, config) simulation.
+type cell struct {
+	Res   *lukewarm.Result
+	Setup *sim.Setup
+}
+
+// runMatrix simulates every workload under every configuration, reusing one
+// generated program per workload, with workloads in parallel.
+func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, error) {
+	opt = opt.withDefaults()
+	out := make(map[string]map[string]*cell, len(opt.Workloads))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, opt.Parallel)
+	var wg sync.WaitGroup
+
+	for _, spec := range opt.Workloads {
+		spec := spec
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prog, _, err := spec.Build()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			row := make(map[string]*cell, len(configs))
+			for _, rc := range configs {
+				setup, err := sim.NewWithProgram(spec, prog, rc.Kind, rc.Tweak)
+				if err == nil {
+					var res *lukewarm.Result
+					res, err = setup.Run(rc.Mode)
+					if err == nil {
+						row[rc.Name] = &cell{Res: res, Setup: setup}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			out[spec.Name] = row
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// orderedNames returns workload names present in m, in Table 1 order.
+func orderedNames(opt Options, m map[string]map[string]*cell) []string {
+	var names []string
+	for _, s := range opt.withDefaults().Workloads {
+		if _, ok := m[s.Name]; ok {
+			names = append(names, s.Name)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		return plotIndex(names[i]) < plotIndex(names[j])
+	})
+	return names
+}
+
+func plotIndex(name string) int {
+	for i, n := range workload.Names() {
+		if n == name {
+			return i
+		}
+	}
+	return 1 << 30
+}
+
+// Table1 lists the benchmark suite.
+func Table1(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "tab1", Title: Title("tab1")}
+	t := stats.NewTable(r.Title, "function", "full name", "runtime", "target instrs/invocation")
+	for _, s := range opt.Workloads {
+		t.AddRowf(s.Name, s.FullName, s.Lang.String(), s.TargetInstr)
+		r.set(s.Name, "targetInstr", float64(s.TargetInstr))
+	}
+	r.Table = t
+	return r, nil
+}
+
+// Table2 dumps the simulated core parameters.
+func Table2(opt Options) (*Result, error) {
+	r := &Result{ID: "tab2", Title: Title("tab2")}
+	c := engine.DefaultConfig()
+	t := stats.NewTable(r.Title, "parameter", "value")
+	rows := []struct {
+		k string
+		v string
+	}{
+		{"Width (instr/cycle)", fmt.Sprintf("%d", c.Width)},
+		{"FTQ depth (blocks)", fmt.Sprintf("%d", c.FTQDepth)},
+		{"Mispredict penalty", fmt.Sprintf("%d cycles", c.MispredictPenalty)},
+		{"Decode resteer penalty", fmt.Sprintf("%d cycles", c.DecodeResteerPenalty)},
+		{"BTB", fmt.Sprintf("%d entries, %d-way, %d-bit tags", c.BTB.Entries, c.BTB.Ways, c.BTB.TagBits)},
+		{"ITLB", fmt.Sprintf("%d entries, %d-way", c.ITLB.Entries, c.ITLB.Ways)},
+		{"L1-I latency", fmt.Sprintf("%d cycles", c.Lat.L1I)},
+		{"L1-D latency", fmt.Sprintf("%d cycles", c.Lat.L1D)},
+		{"L2 latency", fmt.Sprintf("%d cycles", c.Lat.L2)},
+		{"LLC latency", fmt.Sprintf("%d cycles", c.Lat.LLC)},
+		{"DRAM latency", fmt.Sprintf("%d cycles", c.Lat.Mem)},
+	}
+	for _, row := range rows {
+		t.AddRow(row.k, row.v)
+	}
+	r.Table = t
+	return r, nil
+}
+
+// Fig2 measures per-invocation instruction and branch working sets.
+func Fig2(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &Result{ID: "fig2", Title: Title("fig2")}
+	t := stats.NewTable(r.Title, "function", "instr WS (KiB)", "branch WS (BTB entries)", "dyn instrs")
+	var kibs, ents []float64
+	for _, s := range opt.Workloads {
+		prog, _, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		ws, err := workload.MeasureWorkingSet(prog, 42, s.MaxInstr())
+		if err != nil {
+			return nil, err
+		}
+		kib := float64(ws.InstrBytes) / 1024
+		t.AddRowf(s.Name, kib, ws.BTBEntries, ws.DynInstr)
+		r.set(s.Name, "instrKiB", kib)
+		r.set(s.Name, "btbEntries", float64(ws.BTBEntries))
+		kibs = append(kibs, kib)
+		ents = append(ents, float64(ws.BTBEntries))
+	}
+	t.AddRowf("Mean", stats.Mean(kibs), stats.Mean(ents), "")
+	r.set("Mean", "instrKiB", stats.Mean(kibs))
+	r.set("Mean", "btbEntries", stats.Mean(ents))
+	r.Table = t
+	return r, nil
+}
+
+// Fig1 compares CPI stacks between back-to-back and interleaved execution
+// under the baseline next-line prefetcher.
+func Fig1(opt Options) (*Result, error) {
+	configs := []runConfig{
+		{Name: "b2b", Kind: sim.KindNL, Mode: lukewarm.BackToBack},
+		{Name: "interleaved", Kind: sim.KindNL, Mode: lukewarm.Interleaved},
+	}
+	m, err := runMatrix(opt, configs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig1", Title: Title("fig1")}
+	t := stats.NewTable(r.Title,
+		"function", "mode", "CPI", "retiring", "fetch", "badspec", "backend")
+	var degr, feShare []float64
+	for _, name := range orderedNames(opt, m) {
+		b2b := m[name]["b2b"].Res
+		il := m[name]["interleaved"].Res
+		for _, pair := range []struct {
+			mode string
+			res  *lukewarm.Result
+		}{{"back-to-back", b2b}, {"interleaved", il}} {
+			st := pair.res.CPIStack()
+			t.AddRowf(name, pair.mode, st.Total(), st.Retiring, st.Fetch, st.BadSpec, st.Backend)
+			r.set(name+"/"+pair.mode, "cpi", st.Total())
+			r.set(name+"/"+pair.mode, "frontend", st.FrontEnd())
+			r.set(name+"/"+pair.mode, "backend", st.Backend)
+		}
+		d := (il.CPI() - b2b.CPI()) / b2b.CPI() * 100
+		fe := (il.CPIStack().FrontEnd() - b2b.CPIStack().FrontEnd()) / (il.CPI() - b2b.CPI())
+		degr = append(degr, d)
+		feShare = append(feShare, fe)
+		r.set(name, "degradationPct", d)
+		r.set(name, "frontendShare", fe)
+	}
+	t.AddRowf("Mean", "CPI increase", fmt.Sprintf("%.0f%%", stats.Mean(degr)),
+		"front-end share of degradation", fmt.Sprintf("%.0f%%", stats.Mean(feShare)*100), "", "")
+	r.set("Mean", "degradationPct", stats.Mean(degr))
+	r.set("Mean", "frontendShare", stats.Mean(feShare))
+	r.Table = t
+	return r, nil
+}
+
+// speedupExperiment runs a set of configurations (plus the NL baseline) and
+// reports per-workload speedups and mean MPKIs.
+func speedupExperiment(id string, opt Options, configs []runConfig) (*Result, error) {
+	all := append([]runConfig{{Name: "nl", Kind: sim.KindNL, Mode: lukewarm.Interleaved}}, configs...)
+	m, err := runMatrix(opt, all)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: id, Title: Title(id)}
+	header := []string{"function"}
+	for _, c := range configs {
+		header = append(header, c.Name)
+	}
+	t := stats.NewTable(r.Title+" — speedup over NL", header...)
+	speedups := map[string][]float64{}
+	for _, name := range orderedNames(opt, m) {
+		base := m[name]["nl"].Res.CPI()
+		row := []interface{}{name}
+		for _, c := range configs {
+			s := base / m[name][c.Name].Res.CPI()
+			row = append(row, s)
+			r.set(name, c.Name+"/speedup", s)
+			speedups[c.Name] = append(speedups[c.Name], s)
+		}
+		t.AddRowf(row...)
+	}
+	meanRow := []interface{}{"Mean"}
+	for _, c := range configs {
+		mean := stats.GeoMean(speedups[c.Name])
+		meanRow = append(meanRow, mean)
+		r.set("Mean", c.Name+"/speedup", mean)
+	}
+	t.AddRowf(meanRow...)
+
+	// Mean MPKI block (incl. the NL baseline).
+	t2 := stats.NewTable("Mean miss rates", "config", "L1I MPKI", "BTB MPKI", "CBP MPKI", "BPU MPKI")
+	for _, c := range all {
+		var l1, btbM, cbp []float64
+		for _, name := range orderedNames(opt, m) {
+			res := m[name][c.Name].Res
+			l1 = append(l1, res.L1IMPKI())
+			btbM = append(btbM, res.BTBMPKI())
+			cbp = append(cbp, res.CBPMPKI())
+		}
+		t2.AddRowf(c.Name, stats.Mean(l1), stats.Mean(btbM), stats.Mean(cbp), stats.Mean(btbM)+stats.Mean(cbp))
+		r.set("Mean", c.Name+"/l1impki", stats.Mean(l1))
+		r.set("Mean", c.Name+"/btbmpki", stats.Mean(btbM))
+		r.set("Mean", c.Name+"/cbpmpki", stats.Mean(cbp))
+	}
+	r.Table = t
+	r.Table2 = t2
+	return r, nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ignite/internal/workload"
+)
+
+// quickOpts runs experiments on two small workloads with shortened
+// invocations for test speed.
+func quickOpts(t *testing.T) Options {
+	t.Helper()
+	var specs []workload.Spec
+	for _, name := range []string{"Fib-G", "Auth-G"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TargetInstr /= 2
+		specs = append(specs, s)
+	}
+	return Options{Workloads: specs, Parallel: 2}
+}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 19 {
+		t.Fatalf("got %d experiments, want >= 19 (15 paper + 4 ablations)", len(ids))
+	}
+	has := map[string]bool{}
+	for _, id := range ids {
+		has[id] = true
+	}
+	for _, want := range []string{"fig1", "fig8", "fig12", "abl-codec", "abl-throttle", "abl-btb", "abl-metadata"} {
+		if !has[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	r1, err := Run("tab1", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r1.Render(), "Fib-G") {
+		t.Error("tab1 missing workload")
+	}
+	r2, err := Run("tab2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r2.Render(), "12288 entries") {
+		t.Errorf("tab2 missing BTB geometry:\n%s", r2.Render())
+	}
+}
+
+func TestFig1ShowsDegradation(t *testing.T) {
+	r, err := Run("fig1", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get("Mean", "degradationPct") < 30 {
+		t.Errorf("CPI degradation %.0f%% too small", r.Get("Mean", "degradationPct"))
+	}
+	if r.Get("Mean", "frontendShare") < 0.4 {
+		t.Errorf("front-end share %.2f should dominate", r.Get("Mean", "frontendShare"))
+	}
+}
+
+func TestFig2WorkingSets(t *testing.T) {
+	r, err := Run("fig2", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get("Fib-G", "btbEntries") < 1000 {
+		t.Errorf("Fib-G branch WS %.0f too small", r.Get("Fib-G", "btbEntries"))
+	}
+}
+
+func TestFig8HeadlineResult(t *testing.T) {
+	r, err := Run("fig8", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignite := r.Get("Mean", "ignite/speedup")
+	bjb := r.Get("Mean", "boomerang+jb/speedup")
+	tage := r.Get("Mean", "ignite+tage/speedup")
+	ideal := r.Get("Mean", "ideal/speedup")
+	if !(ignite > bjb) {
+		t.Errorf("Ignite (%.2f) must beat Boomerang+JB (%.2f)", ignite, bjb)
+	}
+	if !(tage >= ignite) {
+		t.Errorf("Ignite+TAGE (%.2f) must be >= Ignite (%.2f)", tage, ignite)
+	}
+	if !(ideal >= tage) {
+		t.Errorf("Ideal (%.2f) must bound Ignite+TAGE (%.2f)", ideal, tage)
+	}
+	// MPKI reductions.
+	if r.Get("Mean", "ignite/btbmpki") >= r.Get("Mean", "boomerang+jb/btbmpki")*1.5 {
+		t.Error("Ignite BTB MPKI should not exceed Boomerang+JB substantially")
+	}
+	if r.Get("Mean", "ignite/cbpmpki") >= r.Get("Mean", "nl/cbpmpki") {
+		t.Error("Ignite must reduce CBP MPKI vs NL")
+	}
+}
+
+func TestFig11PolicyOrdering(t *testing.T) {
+	r, err := Run("fig11", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := r.Get("Mean", "bim-wt/speedup")
+	wnt := r.Get("Mean", "bim-wnt/speedup")
+	if wt <= wnt {
+		t.Errorf("weakly-taken (%.3f) must beat weakly-not-taken (%.3f)", wt, wnt)
+	}
+}
+
+func TestFig9cAccuracyBounds(t *testing.T) {
+	r, err := Run("fig9c", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"l2OverPct", "btbOverPct", "cbpInducedPct"} {
+		v := r.Get("Mean", col)
+		if v < 0 || v > 100 {
+			t.Errorf("%s = %.1f out of range", col, v)
+		}
+	}
+	// Ignite is highly accurate: restored state is mostly used.
+	if r.Get("Mean", "btbOverPct") > 50 {
+		t.Errorf("BTB overprediction %.1f%% too high", r.Get("Mean", "btbOverPct"))
+	}
+}
+
+func TestFig10TrafficBreakdown(t *testing.T) {
+	r, err := Run("fig10", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ignite has metadata traffic; NL has none.
+	if r.Get("nl", "recordKiB")+r.Get("nl", "replayKiB") != 0 {
+		t.Error("NL has metadata traffic")
+	}
+	if r.Get("ignite", "replayKiB") == 0 {
+		t.Error("Ignite shows no replay metadata traffic")
+	}
+	if r.Get("nl", "totalKiB") == 0 {
+		t.Error("no traffic measured")
+	}
+}
+
+func TestAblCodecFindsPaperSweetSpot(t *testing.T) {
+	r, err := Run("abl-codec", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 7/21 configuration must beat both a too-narrow and the
+	// swapped configuration on bits per record.
+	best := r.Get("7/21", "bitsPerRecord")
+	if best <= 0 {
+		t.Fatal("no data for 7/21")
+	}
+	if swapped := r.Get("21/7", "bitsPerRecord"); swapped <= best {
+		t.Errorf("swapped widths (%.1f b/rec) should be worse than 7/21 (%.1f)", swapped, best)
+	}
+}
+
+func TestAblThrottleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	opt := quickOpts(t)
+	opt.Workloads = opt.Workloads[:1]
+	r, err := Run("abl-throttle", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"64", "1024", "unthrottled"} {
+		if r.Get(row, "speedup") <= 0.5 {
+			t.Errorf("threshold %s: implausible speedup %.2f", row, r.Get(row, "speedup"))
+		}
+	}
+}
+
+func TestFig5WarmCBPComponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := Run("fig5", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := r.Get("Mean", "btb-warm-cbp-cold/cbpmpki")
+	bim := r.Get("Mean", "+bim-warm/cbpmpki")
+	tage := r.Get("Mean", "+tage-warm/cbpmpki")
+	if !(bim < cold) {
+		t.Errorf("warm BIM CBP MPKI %.2f should be below cold %.2f", bim, cold)
+	}
+	if !(tage < bim) {
+		t.Errorf("warm TAGE CBP MPKI %.2f should be below BIM-only %.2f", tage, bim)
+	}
+}
+
+func TestFig12TemporalStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := Run("fig12", quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := r.Get("Mean", "confluence/speedup")
+	cfi := r.Get("Mean", "confluence+ignite/speedup")
+	if !(cfi > cf) {
+		t.Errorf("Confluence+Ignite (%.2f) must beat Confluence alone (%.2f)", cfi, cf)
+	}
+	// Ignite's BPU restore must cut Confluence's BPU misses substantially.
+	if r.Get("Mean", "confluence+ignite/btbmpki") >= r.Get("Mean", "confluence/btbmpki") {
+		t.Error("Confluence+Ignite did not reduce BTB MPKI")
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"ignite/internal/cache"
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
+	"ignite/internal/stats"
+)
+
+// Fig3 compares the prior-art front-end prefetchers against the ideal
+// front-end on lukewarm invocations.
+func Fig3(opt Options) (*Result, error) {
+	return speedupExperiment("fig3", opt, []runConfig{
+		{Name: "jukebox", Kind: sim.KindJukebox, Mode: lukewarm.Interleaved},
+		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
+		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
+		{Name: "ideal", Kind: sim.KindIdeal, Mode: lukewarm.Interleaved},
+	})
+}
+
+// Fig4 evaluates Boomerang+JB with selectively preserved BPU state.
+func Fig4(opt Options) (*Result, error) {
+	return speedupExperiment("fig4", opt, []runConfig{
+		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
+		{Name: "+warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
+		{Name: "+warm-cbp", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true, BIM: true, TAGE: true}}},
+		{Name: "ideal", Kind: sim.KindIdeal, Mode: lukewarm.Interleaved},
+	})
+}
+
+// Fig5 splits the warm-CBP benefit between the BIM and TAGE components,
+// on Boomerang+JB with a warm BTB.
+func Fig5(opt Options) (*Result, error) {
+	return speedupExperiment("fig5", opt, []runConfig{
+		{Name: "btb-warm-cbp-cold", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
+		{Name: "+bim-warm", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true, BIM: true}}},
+		{Name: "+tage-warm", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true, BIM: true, TAGE: true}}},
+	})
+}
+
+// Fig6 splits the conditional mispredictions of Boomerang+JB (warm BTB,
+// cold CBP) into initial (first execution of a branch in the invocation)
+// and subsequent mispredictions.
+func Fig6(opt Options) (*Result, error) {
+	m, err := runMatrix(opt, []runConfig{
+		{Name: "bjb-warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig6", Title: Title("fig6")}
+	t := stats.NewTable(r.Title, "function", "initial MPKI", "subsequent MPKI", "initial share %")
+	var shares []float64
+	for _, name := range orderedNames(opt, m) {
+		res := m[name]["bjb-warm-btb"].Res
+		initial := res.InitialCBPMPKI()
+		total := res.CBPMPKI()
+		share := 0.0
+		if total > 0 {
+			share = initial / total * 100
+		}
+		t.AddRowf(name, initial, total-initial, share)
+		r.set(name, "initial", initial)
+		r.set(name, "subsequent", total-initial)
+		r.set(name, "sharePct", share)
+		shares = append(shares, share)
+	}
+	t.AddRowf("Mean", "", "", stats.Mean(shares))
+	r.set("Mean", "sharePct", stats.Mean(shares))
+	r.Table = t
+	return r, nil
+}
+
+// Fig8 is the headline evaluation: per-function speedups of Boomerang,
+// Boomerang+JB, Ignite, Ignite+TAGE and the ideal front-end over NL.
+func Fig8(opt Options) (*Result, error) {
+	return speedupExperiment("fig8", opt, []runConfig{
+		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
+		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
+		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
+		{Name: "ignite+tage", Kind: sim.KindIgniteTAGE, Mode: lukewarm.Interleaved},
+		{Name: "ideal", Kind: sim.KindIdeal, Mode: lukewarm.Interleaved},
+	})
+}
+
+// Fig9a reports the miss-coverage MPKIs for the Figure 8 configurations.
+func Fig9a(opt Options) (*Result, error) {
+	r, err := speedupExperiment("fig9a", opt, []runConfig{
+		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
+		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
+		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
+		{Name: "ignite+tage", Kind: sim.KindIgniteTAGE, Mode: lukewarm.Interleaved},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The MPKI companion table is the figure; promote it.
+	r.Table, r.Table2 = r.Table2, r.Table
+	return r, nil
+}
+
+// Fig9b reports Ignite's coverage of initial mispredictions against the
+// Boomerang+JB (warm BTB) background of Figure 6.
+func Fig9b(opt Options) (*Result, error) {
+	m, err := runMatrix(opt, []runConfig{
+		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
+		{Name: "bjb-warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig9b", Title: Title("fig9b")}
+	t := stats.NewTable(r.Title,
+		"function", "ignite initial", "ignite subsequent", "bjb initial", "bjb subsequent", "initial covered %")
+	var covs []float64
+	for _, name := range orderedNames(opt, m) {
+		ig := m[name]["ignite"].Res
+		bg := m[name]["bjb-warm-btb"].Res
+		cov := 0.0
+		if bg.InitialCBPMPKI() > 0 {
+			cov = (1 - ig.InitialCBPMPKI()/bg.InitialCBPMPKI()) * 100
+		}
+		t.AddRowf(name, ig.InitialCBPMPKI(), ig.CBPMPKI()-ig.InitialCBPMPKI(),
+			bg.InitialCBPMPKI(), bg.CBPMPKI()-bg.InitialCBPMPKI(), cov)
+		r.set(name, "igniteInitial", ig.InitialCBPMPKI())
+		r.set(name, "bjbInitial", bg.InitialCBPMPKI())
+		r.set(name, "coveredPct", cov)
+		covs = append(covs, cov)
+	}
+	t.AddRowf("Mean", "", "", "", "", stats.Mean(covs))
+	r.set("Mean", "coveredPct", stats.Mean(covs))
+	r.Table = t
+	return r, nil
+}
+
+// Fig9c reports Ignite's restore accuracy: the fraction of restored L2
+// lines and BTB entries that were never used, and the mispredictions its
+// BIM initialization induced.
+func Fig9c(opt Options) (*Result, error) {
+	m, err := runMatrix(opt, []runConfig{
+		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig9c", Title: Title("fig9c")}
+	t := stats.NewTable(r.Title,
+		"function", "L2 overpredicted %", "BTB overpredicted %", "CBP induced %")
+	var l2s, btbs, cbps []float64
+	for _, name := range orderedNames(opt, m) {
+		c := m[name]["ignite"]
+		ins, useful := c.Setup.Eng.Traffic().SourceAccuracy(cache.SrcIgnite)
+		l2Over := 0.0
+		if ins > 0 {
+			l2Over = float64(ins-useful) / float64(ins) * 100
+		}
+		bs := c.Setup.Eng.BTB().Stats()
+		restored := bs.RestoredInserts.Value()
+		btbOver := 0.0
+		if restored > 0 {
+			btbOver = float64(bs.RestoredEvictedUU.Value()) / float64(restored) * 100
+		}
+		res := c.Res
+		induced := 0.0
+		if res.CBPMPKI() > 0 {
+			induced = res.InducedMPKI() / res.CBPMPKI() * 100
+		}
+		t.AddRowf(name, l2Over, btbOver, induced)
+		r.set(name, "l2OverPct", l2Over)
+		r.set(name, "btbOverPct", btbOver)
+		r.set(name, "cbpInducedPct", induced)
+		l2s = append(l2s, l2Over)
+		btbs = append(btbs, btbOver)
+		cbps = append(cbps, induced)
+	}
+	t.AddRowf("Mean", stats.Mean(l2s), stats.Mean(btbs), stats.Mean(cbps))
+	r.set("Mean", "l2OverPct", stats.Mean(l2s))
+	r.set("Mean", "btbOverPct", stats.Mean(btbs))
+	r.set("Mean", "cbpInducedPct", stats.Mean(cbps))
+	r.Table = t
+	return r, nil
+}
+
+// Fig10 breaks down per-invocation memory traffic into useful instructions,
+// useless instructions (wrong path and dead prefetches), and record/replay
+// metadata. Ignite runs with double buffering — the paper's worst case.
+func Fig10(opt Options) (*Result, error) {
+	m, err := runMatrix(opt, []runConfig{
+		{Name: "nl", Kind: sim.KindNL, Mode: lukewarm.Interleaved},
+		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
+		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
+		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{DoubleBuffer: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{ID: "fig10", Title: Title("fig10")}
+	t := stats.NewTable(r.Title+" (mean KiB per invocation)",
+		"config", "useful instr", "useless instr", "record meta", "replay meta", "total")
+	for _, cfgName := range []string{"nl", "boomerang", "boomerang+jb", "ignite"} {
+		var useful, useless, rec, rep float64
+		n := 0
+		for _, name := range orderedNames(opt, m) {
+			tr := m[name][cfgName].Res.MeanTraffic()
+			useful += float64(tr.UsefulInstrBytes) / 1024
+			useless += float64(tr.UselessInstrBytes) / 1024
+			rec += float64(tr.RecordMetaBytes) / 1024
+			rep += float64(tr.ReplayMetaBytes) / 1024
+			n++
+		}
+		fn := float64(n)
+		t.AddRowf(cfgName, useful/fn, useless/fn, rec/fn, rep/fn,
+			(useful+useless+rec+rep)/fn)
+		r.set(cfgName, "usefulKiB", useful/fn)
+		r.set(cfgName, "uselessKiB", useless/fn)
+		r.set(cfgName, "recordKiB", rec/fn)
+		r.set(cfgName, "replayKiB", rep/fn)
+		r.set(cfgName, "totalKiB", (useful+useless+rec+rep)/fn)
+	}
+	r.Table = t
+	return r, nil
+}
+
+// Fig11 compares bimodal initialization policies: no BIM restore, BIM state
+// preserved across invocations, weakly-not-taken, and weakly-taken (the
+// Ignite default).
+func Fig11(opt Options) (*Result, error) {
+	none := ignite.BIMNone
+	wnt := ignite.BIMWeaklyNotTaken
+	wt := ignite.BIMWeaklyTaken
+	return speedupExperiment("fig11", opt, []runConfig{
+		{Name: "btb-only", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{BIMPolicy: &none}},
+		{Name: "bim-preserved", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{BIMPolicy: &none, Keep: lukewarm.Preserve{BIM: true}}},
+		{Name: "bim-wnt", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{BIMPolicy: &wnt}},
+		{Name: "bim-wt", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
+			Tweak: sim.Tweaks{BIMPolicy: &wt}},
+	})
+}
+
+// Fig12 evaluates temporal-streaming prefetching: Confluence alone, with
+// Ignite, and FDP with Ignite.
+func Fig12(opt Options) (*Result, error) {
+	return speedupExperiment("fig12", opt, []runConfig{
+		{Name: "confluence", Kind: sim.KindConfluence, Mode: lukewarm.Interleaved},
+		{Name: "confluence+ignite", Kind: sim.KindConfluenceIgnite, Mode: lukewarm.Interleaved},
+		{Name: "fdp+ignite", Kind: sim.KindFDPIgnite, Mode: lukewarm.Interleaved},
+	})
+}

@@ -1,0 +1,245 @@
+package ignite
+
+import (
+	"testing"
+
+	"ignite/internal/bpred"
+	"ignite/internal/btb"
+	"ignite/internal/cfg"
+	"ignite/internal/engine"
+	"ignite/internal/memsys"
+	"ignite/internal/workload"
+)
+
+func testEngine(t *testing.T) (*engine.Engine, workload.Spec) {
+	t.Helper()
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.FDPEnabled = true
+	return engine.New(prog, cfg), spec
+}
+
+func TestRecorderCapturesBTBInsertions(t *testing.T) {
+	eng, spec := testEngine(t)
+	region := memsys.NewRegion(0, MaxMetadataBytes)
+	rec := NewRecorder(DefaultCodecConfig(), region, eng.Traffic())
+	rec.Attach(eng.BTB())
+	rec.Start()
+	eng.Thrash(1)
+	if _, err := eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 4}); err != nil {
+		t.Fatal(err)
+	}
+	rec.Stop()
+	if rec.Records() < 1000 {
+		t.Fatalf("recorded only %d entries", rec.Records())
+	}
+	if region.Used() == 0 {
+		t.Fatal("no metadata written")
+	}
+	// Metadata bandwidth accounted.
+	rep := eng.Traffic().Report()
+	if rep.RecordMetaBytes == 0 {
+		t.Error("record bandwidth not accounted")
+	}
+}
+
+func TestRecorderDisabledRecordsNothing(t *testing.T) {
+	eng, spec := testEngine(t)
+	region := memsys.NewRegion(0, MaxMetadataBytes)
+	rec := NewRecorder(DefaultCodecConfig(), region, nil)
+	rec.Attach(eng.BTB())
+	// Never started.
+	eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 8})
+	if rec.Records() != 0 || region.Used() != 0 {
+		t.Error("disabled recorder captured data")
+	}
+}
+
+func TestReplayRestoresState(t *testing.T) {
+	eng, spec := testEngine(t)
+	store := memsys.NewStore()
+	ig := New(DefaultConfig(), eng, store, "test")
+	ig.Install()
+
+	// Record a lukewarm invocation.
+	eng.Thrash(1)
+	ig.StartRecord()
+	if _, err := eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 2}); err != nil {
+		t.Fatal(err)
+	}
+	ig.StopRecord()
+	ig.ArmReplay()
+
+	// Thrash, then drain the replay without running the core.
+	eng.Thrash(2)
+	if eng.BTB().Occupancy() != 0 {
+		t.Fatal("BTB not empty after thrash")
+	}
+	ig.Replayer().BeginInvocation()
+	ig.Replayer().Drain()
+
+	if got := eng.BTB().Occupancy(); got < 500 {
+		t.Errorf("replay restored only %d BTB entries", got)
+	}
+	if ig.Replayer().BIMSet == 0 {
+		t.Error("no BIM entries initialized")
+	}
+	if ig.Replayer().LinesPrefetched == 0 {
+		t.Error("no instruction lines prefetched")
+	}
+	// Restored BIM counters should be weakly taken.
+	rep := eng.Traffic().Report()
+	if rep.ReplayMetaBytes == 0 {
+		t.Error("replay bandwidth not accounted")
+	}
+}
+
+func TestReplayThrottling(t *testing.T) {
+	eng, spec := testEngine(t)
+	store := memsys.NewStore()
+	cfg := DefaultConfig()
+	cfg.Replay.ThrottleThreshold = 100 // tiny threshold
+	ig := New(cfg, eng, store, "test")
+	ig.Install()
+
+	eng.Thrash(1)
+	ig.StartRecord()
+	eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 2})
+	ig.StopRecord()
+	ig.ArmReplay()
+
+	eng.Thrash(2)
+	ig.Replayer().BeginInvocation()
+	ig.Replayer().Drain()
+	// With nothing touching the BTB, replay must stop at ~threshold.
+	if got := eng.BTB().RestoredUntouched(); got > 100+8 {
+		t.Errorf("throttle exceeded: %d untouched restored entries", got)
+	}
+	if ig.Replayer().Done() {
+		t.Error("replay claims done while throttled")
+	}
+}
+
+func TestReplayBIMPolicies(t *testing.T) {
+	for _, policy := range []BIMPolicy{BIMNone, BIMWeaklyTaken, BIMWeaklyNotTaken} {
+		eng, spec := testEngine(t)
+		store := memsys.NewStore()
+		cfg := DefaultConfig()
+		cfg.Replay.Policy = policy
+		ig := New(cfg, eng, store, "test")
+		ig.Install()
+
+		eng.Thrash(1)
+		ig.StartRecord()
+		eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 4})
+		ig.StopRecord()
+		ig.ArmReplay()
+		eng.CBP().Bimodal().Flush() // all weakly-not-taken
+		ig.Replayer().BeginInvocation()
+		ig.Replayer().Drain()
+
+		switch policy {
+		case BIMNone:
+			if ig.Replayer().BIMSet != 0 {
+				t.Errorf("%v: BIM touched", policy)
+			}
+		default:
+			if ig.Replayer().BIMSet == 0 {
+				t.Errorf("%v: BIM not initialized", policy)
+			}
+		}
+	}
+}
+
+func TestOSControlRegisters(t *testing.T) {
+	eng, _ := testEngine(t)
+	store := memsys.NewStore()
+	ig := New(DefaultConfig(), eng, store, "regs")
+
+	regs := ig.Regs()
+	if regs.RecordEnable || regs.ReplayEnable {
+		t.Fatal("enable bits set before configuration")
+	}
+	ig.StartRecord()
+	regs = ig.Regs()
+	if !regs.RecordEnable || regs.RecordBase == 0 || regs.RecordSize == 0 {
+		t.Errorf("record regs not configured: %+v", regs)
+	}
+	ig.StopRecord()
+	if ig.Regs().RecordEnable {
+		t.Error("record enable still set")
+	}
+	ig.ArmReplay()
+	regs = ig.Regs()
+	if !regs.ReplayEnable || regs.ReplayBase == 0 {
+		t.Errorf("replay regs not configured: %+v", regs)
+	}
+	ig.DisarmReplay()
+	if ig.Regs().ReplayEnable {
+		t.Error("replay enable still set")
+	}
+}
+
+func TestDoubleBufferSwapsRegions(t *testing.T) {
+	eng, spec := testEngine(t)
+	store := memsys.NewStore()
+	cfg := DefaultConfig()
+	cfg.DoubleBuffer = true
+	ig := New(cfg, eng, store, "db")
+	ig.Install()
+
+	// First record goes to region A.
+	ig.StartRecord()
+	eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 8})
+	ig.StopRecord()
+	baseA := ig.Regs().RecordBase
+	ig.ArmReplay()
+	if ig.Regs().ReplayBase != baseA {
+		t.Fatal("replay should use the recorded region")
+	}
+	// Recording while replay is armed must use the other region.
+	ig.StartRecord()
+	if ig.Regs().RecordBase == baseA {
+		t.Error("double-buffered record reused the replaying region")
+	}
+}
+
+func TestInducedMispredictionTracking(t *testing.T) {
+	// A restored weakly-taken counter that is wrong on first use counts
+	// as an induced misprediction via Bimodal.WasRestored.
+	bim := bpred.NewBimodal(64)
+	pc := uint64(0x400)
+	bim.Set(pc, bpred.WeaklyTaken)
+	if !bim.WasRestored(pc) {
+		t.Fatal("restored mark missing")
+	}
+	bim.Update(pc, false)
+	if bim.WasRestored(pc) {
+		t.Fatal("restored mark survived training")
+	}
+}
+
+func TestBranchKindHelpers(t *testing.T) {
+	e := toBTBEntry(Record{BranchPC: 1, Target: 2, Kind: cfg.BranchCall})
+	if e.PC != 1 || e.Target != 2 || e.Kind != cfg.BranchCall {
+		t.Error("toBTBEntry broken")
+	}
+	if branchCond() != cfg.BranchCond {
+		t.Error("branchCond broken")
+	}
+	var _ = btb.Entry{}
+}
+
+func TestBIMPolicyString(t *testing.T) {
+	if BIMWeaklyTaken.String() != "weakly-taken" || BIMNone.String() != "none" ||
+		BIMWeaklyNotTaken.String() != "weakly-not-taken" {
+		t.Error("BIMPolicy.String broken")
+	}
+}

@@ -1,0 +1,245 @@
+package ignite
+
+import (
+	"ignite/internal/bpred"
+	"ignite/internal/cache"
+	"ignite/internal/engine"
+	"ignite/internal/memsys"
+)
+
+// BIMPolicy selects how replay initializes the bimodal entry of each
+// restored conditional branch (the Figure 11 study).
+type BIMPolicy uint8
+
+const (
+	// BIMNone leaves the bimodal untouched (restore L2 + BTB only).
+	BIMNone BIMPolicy = iota
+	// BIMWeaklyTaken is Ignite's policy: a recorded branch was taken, so
+	// prime its counter to weakly-taken.
+	BIMWeaklyTaken
+	// BIMWeaklyNotTaken is the counterproductive alternative evaluated
+	// in Figure 11.
+	BIMWeaklyNotTaken
+)
+
+func (p BIMPolicy) String() string {
+	switch p {
+	case BIMNone:
+		return "none"
+	case BIMWeaklyTaken:
+		return "weakly-taken"
+	case BIMWeaklyNotTaken:
+		return "weakly-not-taken"
+	default:
+		return "?"
+	}
+}
+
+// ReplayConfig parameterizes the replay engine.
+type ReplayConfig struct {
+	// EntriesPerCycle is the peak decode/restore rate.
+	EntriesPerCycle float64
+	// ThrottleThreshold pauses replay while more than this many restored
+	// BTB entries remain untouched by the front end (Section 4.2; the
+	// paper uses 1K).
+	ThrottleThreshold int
+	// MaxChainLines caps the instruction lines prefetched per record
+	// when chaining from the previous record's target to this record's
+	// branch PC.
+	MaxChainLines int
+	// Policy is the bimodal initialization policy.
+	Policy BIMPolicy
+}
+
+// DefaultReplayConfig returns the paper's replay parameters.
+func DefaultReplayConfig() ReplayConfig {
+	return ReplayConfig{
+		EntriesPerCycle:   1,
+		ThrottleThreshold: 1024,
+		MaxChainLines:     8,
+		Policy:            BIMWeaklyTaken,
+	}
+}
+
+// Replayer implements Ignite's replay logic (Section 4.2) as an engine
+// companion: it streams the recorded metadata sequentially and, for each
+// record, restores the BTB entry, primes the BIM, pre-translates the branch
+// PC (I-TLB warming), and prefetches the code region between the previous
+// record's target and this record's branch PC into the L2 cache.
+type Replayer struct {
+	cfg     ReplayConfig
+	codec   CodecConfig
+	eng     *engine.Engine
+	region  *memsys.Region
+	traffic TrafficSink
+
+	dec        *Decoder
+	armed      bool
+	active     bool
+	prevTarget uint64
+	hasPrev    bool
+	credit     float64
+	bitsSeen   int
+
+	// Stats for the restore-accuracy study.
+	Restored        int
+	BIMSet          int
+	LinesPrefetched int
+	ThrottleStalls  int
+}
+
+// NewReplayer builds a replayer over the given engine's structures.
+func NewReplayer(cfg ReplayConfig, codec CodecConfig, eng *engine.Engine,
+	region *memsys.Region, traffic TrafficSink) *Replayer {
+	return &Replayer{cfg: cfg, codec: codec, eng: eng, region: region, traffic: traffic}
+}
+
+var _ engine.Companion = (*Replayer)(nil)
+
+// Name implements engine.Companion.
+func (r *Replayer) Name() string { return "ignite-replay" }
+
+// SetRegion points the replayer at a (newly recorded) metadata region.
+func (r *Replayer) SetRegion(region *memsys.Region) {
+	r.region = region
+	r.active = false
+}
+
+// Arm schedules replay to start at the next invocation (the OS sets the
+// replay control bit before scheduling the function).
+func (r *Replayer) Arm() { r.armed = true }
+
+// Disarm cancels replay for subsequent invocations.
+func (r *Replayer) Disarm() { r.armed = false; r.active = false }
+
+// Done reports whether the armed replay has consumed the whole stream.
+func (r *Replayer) Done() bool { return !r.active }
+
+// BeginInvocation implements engine.Companion: replay starts together with
+// the function (Section 4.3).
+func (r *Replayer) BeginInvocation() {
+	if !r.armed {
+		return
+	}
+	r.region.ResetRead()
+	r.dec = NewDecoder(r.codec, r.region)
+	r.active = true
+	r.prevTarget = 0
+	r.hasPrev = false
+	r.credit = 0
+	r.bitsSeen = 0
+	r.Restored = 0
+	r.BIMSet = 0
+	r.LinesPrefetched = 0
+	r.ThrottleStalls = 0
+}
+
+// OnInstrFetch implements engine.Companion (unused by Ignite).
+func (r *Replayer) OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64) {}
+
+// Tick implements engine.Companion: advance the replay state machine by the
+// granted cycles.
+func (r *Replayer) Tick(now uint64, cycles int) {
+	if !r.active {
+		return
+	}
+	r.credit += float64(cycles) * r.cfg.EntriesPerCycle
+	btbRef := r.eng.BTB()
+	for r.credit >= 1 {
+		if btbRef.RestoredUntouched() > r.cfg.ThrottleThreshold {
+			r.ThrottleStalls++
+			return // retry next tick; credit is retained
+		}
+		r.credit--
+		rec, ok, err := r.dec.Decode()
+		if err != nil || !ok {
+			r.finish()
+			return
+		}
+		r.apply(rec)
+	}
+}
+
+// Drain runs the replayer to completion ignoring rate limits (useful for
+// tests and for modeling an idle-core restore).
+func (r *Replayer) Drain() {
+	if !r.armed {
+		return
+	}
+	if !r.active {
+		r.BeginInvocation()
+	}
+	btbRef := r.eng.BTB()
+	for r.active {
+		if btbRef.RestoredUntouched() > r.cfg.ThrottleThreshold {
+			return
+		}
+		rec, ok, err := r.dec.Decode()
+		if err != nil || !ok {
+			r.finish()
+			return
+		}
+		r.apply(rec)
+	}
+}
+
+func (r *Replayer) finish() {
+	r.active = false
+	r.accountBits()
+}
+
+// accountBits charges replay metadata bandwidth for newly consumed bits.
+func (r *Replayer) accountBits() {
+	if r.traffic == nil || r.dec == nil {
+		return
+	}
+	bits := r.dec.BitsRead()
+	if bytes := (bits - r.bitsSeen) / 8; bytes > 0 {
+		r.traffic.AddReplayBytes(bytes)
+		r.bitsSeen += bytes * 8
+	}
+}
+
+// apply restores one metadata record into the front-end structures.
+func (r *Replayer) apply(rec Record) {
+	r.Restored++
+	hier := r.eng.Hierarchy()
+
+	// BTB entry, marked restored for throttle/accuracy tracking.
+	r.eng.BTB().Insert(toBTBEntry(rec), true)
+
+	// BIM initialization for conditional branches.
+	if rec.Kind == branchCond() && r.cfg.Policy != BIMNone {
+		val := bpred.WeaklyTaken
+		if r.cfg.Policy == BIMWeaklyNotTaken {
+			val = bpred.WeaklyNotTaken
+		}
+		r.eng.CBP().Bimodal().Set(rec.BranchPC, val)
+		r.BIMSet++
+	}
+
+	// Address translation warms the I-TLB as a side effect.
+	r.eng.ITLB().Prefill(rec.BranchPC)
+
+	// Instruction prefetch into L2: chain from the previous record's
+	// target through this record's branch PC — reconstructing the
+	// contiguous code region between two discontinuities.
+	start := rec.BranchPC
+	if r.hasPrev && r.prevTarget <= rec.BranchPC {
+		start = r.prevTarget
+	}
+	startLine := start &^ (cache.LineBytesConst - 1)
+	endLine := rec.BranchPC &^ (cache.LineBytesConst - 1)
+	lines := 0
+	for la := startLine; la <= endLine && lines < r.cfg.MaxChainLines; la += cache.LineBytesConst {
+		if from, issued := hier.PrefetchInstr(la, cache.SrcIgnite, cache.LvlL2); issued {
+			r.eng.NotePendingLine(la, from, 0)
+			r.LinesPrefetched++
+		}
+		lines++
+	}
+
+	r.prevTarget = rec.Target
+	r.hasPrev = true
+	r.accountBits()
+}

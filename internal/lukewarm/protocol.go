@@ -1,0 +1,247 @@
+// Package lukewarm orchestrates the paper's experimental protocol
+// (Section 5.3): a function is invoked repeatedly on one core; between
+// invocations the simulator either preserves all microarchitectural state
+// (back-to-back, the best case) or thrashes it (interleaved/lukewarm,
+// flushing caches, BTB, I-TLB and TAGE and randomizing the bimodal),
+// optionally preserving selected structures for the warm-state sensitivity
+// studies. Record/replay mechanisms (Jukebox, Confluence, Ignite) record
+// during a designated invocation and replay on every measured one.
+package lukewarm
+
+import (
+	"fmt"
+
+	"ignite/internal/engine"
+	"ignite/internal/memsys"
+	"ignite/internal/stats"
+)
+
+// Mode selects the inter-invocation regime.
+type Mode uint8
+
+const (
+	// BackToBack preserves all state between invocations (the paper's
+	// best-case baseline).
+	BackToBack Mode = iota
+	// Interleaved thrashes on-chip state between invocations, modeling
+	// thousands of interleaving function executions.
+	Interleaved
+)
+
+func (m Mode) String() string {
+	if m == BackToBack {
+		return "back-to-back"
+	}
+	return "interleaved"
+}
+
+// Preserve selects structures exempted from the thrash (Figures 4 and 5).
+type Preserve struct {
+	BTB  bool
+	BIM  bool
+	TAGE bool
+}
+
+// Mechanism is a record/replay restoration mechanism (Ignite, Jukebox,
+// Confluence) driven by the protocol.
+type Mechanism interface {
+	StartRecord()
+	StopRecord()
+	ArmReplay()
+}
+
+// Options configures a protocol run.
+type Options struct {
+	// MaxInstr is the per-invocation instruction budget.
+	MaxInstr uint64
+	// Warmups is the number of warm-up invocations (default 2).
+	Warmups int
+	// Measures is the number of measured invocations (default 3).
+	Measures int
+	// Mode selects back-to-back or interleaved execution.
+	Mode Mode
+	// Keep preserves selected structures across the thrash.
+	Keep Preserve
+	// Mechanisms record during the record invocation and replay on every
+	// measured invocation.
+	Mechanisms []Mechanism
+	// SeedBase differentiates invocations; each invocation uses
+	// SeedBase+i so traces share structure but differ in detail.
+	SeedBase uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmups <= 0 {
+		o.Warmups = 2
+	}
+	if o.Measures <= 0 {
+		o.Measures = 3
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 0x1ce
+	}
+	return o
+}
+
+// Result aggregates the measured invocations.
+type Result struct {
+	PerInvocation []*engine.InvocationStats
+	Traffic       []memsys.Report
+}
+
+// Instrs returns the total measured instruction count.
+func (r *Result) Instrs() uint64 {
+	var n uint64
+	for _, s := range r.PerInvocation {
+		n += s.Instrs
+	}
+	return n
+}
+
+// Cycles returns the total measured cycles.
+func (r *Result) Cycles() float64 {
+	var c float64
+	for _, s := range r.PerInvocation {
+		c += s.Cycles
+	}
+	return c
+}
+
+// CPI returns the aggregate cycles per instruction.
+func (r *Result) CPI() float64 {
+	if r.Instrs() == 0 {
+		return 0
+	}
+	return r.Cycles() / float64(r.Instrs())
+}
+
+// CPIStack returns the aggregate per-instruction cycle stack.
+func (r *Result) CPIStack() stats.CPIStack {
+	var total stats.CPIStack
+	for _, s := range r.PerInvocation {
+		total = total.Add(s.Stack)
+	}
+	return total.PerInstr(r.Instrs())
+}
+
+func (r *Result) sum(f func(*engine.InvocationStats) uint64) uint64 {
+	var n uint64
+	for _, s := range r.PerInvocation {
+		n += f(s)
+	}
+	return n
+}
+
+// L1IMPKI returns the aggregate L1-I miss rate.
+func (r *Result) L1IMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.L1IMisses }), r.Instrs())
+}
+
+// BTBMPKI returns the aggregate BTB miss rate.
+func (r *Result) BTBMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.BTBMisses + s.TargetMispredicts }), r.Instrs())
+}
+
+// CBPMPKI returns the aggregate conditional misprediction rate.
+func (r *Result) CBPMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.CondMispredicts }), r.Instrs())
+}
+
+// InitialCBPMPKI returns the misprediction rate of first-execution branches.
+func (r *Result) InitialCBPMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.CondMispredInitial }), r.Instrs())
+}
+
+// InducedMPKI returns the rate of mispredictions induced by incorrect
+// Ignite BIM initializations.
+func (r *Result) InducedMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.InducedMispredicts }), r.Instrs())
+}
+
+// BPUMPKI returns BTB plus CBP MPKI, the paper's combined BPU metric.
+func (r *Result) BPUMPKI() float64 { return r.BTBMPKI() + r.CBPMPKI() }
+
+// OffChipMPKI returns instruction fetches served by DRAM per kilo-instr.
+func (r *Result) OffChipMPKI() float64 {
+	return stats.MPKI(r.sum(func(s *engine.InvocationStats) uint64 { return s.OffChipInstrMisses }), r.Instrs())
+}
+
+// MeanTraffic returns the mean per-invocation bandwidth report.
+func (r *Result) MeanTraffic() memsys.Report {
+	if len(r.Traffic) == 0 {
+		return memsys.Report{}
+	}
+	var sum memsys.Report
+	for _, t := range r.Traffic {
+		sum.UsefulInstrBytes += t.UsefulInstrBytes
+		sum.UselessInstrBytes += t.UselessInstrBytes
+		sum.RecordMetaBytes += t.RecordMetaBytes
+		sum.ReplayMetaBytes += t.ReplayMetaBytes
+	}
+	n := uint64(len(r.Traffic))
+	return memsys.Report{
+		UsefulInstrBytes:  sum.UsefulInstrBytes / n,
+		UselessInstrBytes: sum.UselessInstrBytes / n,
+		RecordMetaBytes:   sum.RecordMetaBytes / n,
+		ReplayMetaBytes:   sum.ReplayMetaBytes / n,
+	}
+}
+
+// Run executes the protocol on the engine: warm-ups, a record invocation
+// (when mechanisms are present), and the measured invocations.
+func Run(eng *engine.Engine, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	seed := opt.SeedBase
+
+	thrash := func(i uint64) {
+		if opt.Mode != Interleaved {
+			return
+		}
+		eng.ThrashSelective(opt.SeedBase^(0xbad<<16)^i,
+			opt.Keep.BTB, opt.Keep.BIM, opt.Keep.TAGE)
+	}
+
+	run := func() (*engine.InvocationStats, error) {
+		st, err := eng.RunInvocation(engine.InvocationOptions{Seed: seed, MaxInstr: opt.MaxInstr})
+		seed++
+		return st, err
+	}
+
+	// Warm-up: trains runtimes / predictors; in interleaved mode each
+	// warm-up still sees thrashed state, as on a real server.
+	for i := 0; i < opt.Warmups; i++ {
+		thrash(uint64(i))
+		if _, err := run(); err != nil {
+			return nil, fmt.Errorf("lukewarm: warmup %d: %w", i, err)
+		}
+	}
+
+	// Record invocation.
+	if len(opt.Mechanisms) > 0 {
+		thrash(100)
+		for _, m := range opt.Mechanisms {
+			m.StartRecord()
+		}
+		if _, err := run(); err != nil {
+			return nil, fmt.Errorf("lukewarm: record invocation: %w", err)
+		}
+		for _, m := range opt.Mechanisms {
+			m.StopRecord()
+			m.ArmReplay()
+		}
+	}
+
+	res := &Result{}
+	for i := 0; i < opt.Measures; i++ {
+		thrash(uint64(200 + i))
+		eng.Traffic().Reset()
+		st, err := run()
+		if err != nil {
+			return nil, fmt.Errorf("lukewarm: measured invocation %d: %w", i, err)
+		}
+		res.PerInvocation = append(res.PerInvocation, st)
+		res.Traffic = append(res.Traffic, eng.Traffic().Report())
+	}
+	eng.BTB().SweepRestoredUnused()
+	return res, nil
+}

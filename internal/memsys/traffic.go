@@ -1,0 +1,150 @@
+// Package memsys models the parts of main memory the paper's evaluation
+// depends on: per-class DRAM bandwidth accounting (useful vs useless
+// instruction traffic, record/replay metadata — Figure 10) and the
+// per-container metadata regions that Jukebox and Ignite stream their
+// state into (Section 4.3).
+package memsys
+
+import (
+	"ignite/internal/cache"
+)
+
+// LineBytes is the DRAM transfer granularity.
+const LineBytes = 64
+
+// lineState tracks post-hoc classification of instruction lines. A DRAM
+// fetch is "useful" if the line is ever demand-touched on the correct path;
+// prefetch inserts additionally track per-source accuracy.
+type lineState struct {
+	fetchCount  uint32 // DRAM fetches of this line (instruction classes only)
+	memTouched  bool   // sticky: ever demand-touched on the correct path
+	pendingMask uint16 // sources with an outstanding un-touched insert
+}
+
+// Traffic implements cache.Tracker. It classifies every DRAM instruction
+// fetch as useful or useless (wrong-path or never-used prefetch) and tracks
+// per-source prefetch accuracy for the restore-accuracy study.
+type Traffic struct {
+	lines map[uint64]*lineState
+
+	memFetches    [cache.NumSources]uint64 // lines fetched from DRAM per source
+	inserted      [cache.NumSources]uint64 // prefetch-class inserts (any origin level)
+	insertsUseful [cache.NumSources]uint64 // inserts later demand-touched
+
+	metaRecordBytes uint64 // metadata streams written to DRAM
+	metaReplayBytes uint64 // metadata streamed back from DRAM
+}
+
+// NewTraffic returns an empty traffic tracker.
+func NewTraffic() *Traffic {
+	return &Traffic{lines: make(map[uint64]*lineState)}
+}
+
+var _ cache.Tracker = (*Traffic)(nil)
+
+func (t *Traffic) state(lineAddr uint64) *lineState {
+	ls := t.lines[lineAddr]
+	if ls == nil {
+		ls = &lineState{}
+		t.lines[lineAddr] = ls
+	}
+	return ls
+}
+
+// MemFetch records one line crossing the DRAM bus on behalf of src.
+func (t *Traffic) MemFetch(lineAddr uint64, src cache.Source) {
+	t.memFetches[src]++
+	if src == cache.SrcData {
+		return // only instruction traffic is classified useful/useless
+	}
+	t.state(lineAddr).fetchCount++
+}
+
+// Inserted records a prefetch-class insert for accuracy tracking.
+func (t *Traffic) Inserted(lineAddr uint64, src cache.Source, lvl cache.Level) {
+	t.inserted[src]++
+	t.state(lineAddr).pendingMask |= 1 << src
+}
+
+// DemandTouch records a correct-path demand use of a line. Only lines known
+// to the tracker (DRAM-fetched or prefetch-inserted) carry state.
+func (t *Traffic) DemandTouch(lineAddr uint64) {
+	ls := t.lines[lineAddr]
+	if ls == nil {
+		return
+	}
+	ls.memTouched = true
+	if ls.pendingMask != 0 {
+		for src := 0; src < cache.NumSources; src++ {
+			if ls.pendingMask&(1<<src) != 0 {
+				t.insertsUseful[src]++
+			}
+		}
+		ls.pendingMask = 0
+	}
+}
+
+// AddRecordBytes accounts metadata written to DRAM by a recorder.
+func (t *Traffic) AddRecordBytes(n int) { t.metaRecordBytes += uint64(n) }
+
+// AddReplayBytes accounts metadata streamed from DRAM by a replayer.
+func (t *Traffic) AddReplayBytes(n int) { t.metaReplayBytes += uint64(n) }
+
+// Report is the Figure 10 bandwidth breakdown, in bytes.
+type Report struct {
+	UsefulInstrBytes  uint64
+	UselessInstrBytes uint64
+	RecordMetaBytes   uint64
+	ReplayMetaBytes   uint64
+}
+
+// Total returns the total number of bytes moved.
+func (r Report) Total() uint64 {
+	return r.UsefulInstrBytes + r.UselessInstrBytes + r.RecordMetaBytes + r.ReplayMetaBytes
+}
+
+// InstrBytes returns instruction traffic only.
+func (r Report) InstrBytes() uint64 {
+	return r.UsefulInstrBytes + r.UselessInstrBytes
+}
+
+// Report computes the bandwidth breakdown: a DRAM instruction fetch is
+// useful when its line was demand-touched on the correct path at least
+// once, useless otherwise (wrong-path fetches and dead prefetches).
+func (t *Traffic) Report() Report {
+	var useful, total uint64
+	for src := 0; src < cache.NumSources; src++ {
+		if src == int(cache.SrcData) {
+			continue
+		}
+		total += t.memFetches[src]
+	}
+	for _, ls := range t.lines {
+		if ls.memTouched {
+			useful += uint64(ls.fetchCount)
+		}
+	}
+	if useful > total {
+		useful = total
+	}
+	return Report{
+		UsefulInstrBytes:  useful * LineBytes,
+		UselessInstrBytes: (total - useful) * LineBytes,
+		RecordMetaBytes:   t.metaRecordBytes,
+		ReplayMetaBytes:   t.metaReplayBytes,
+	}
+}
+
+// SourceAccuracy returns, for a prefetch source, how many lines it inserted
+// and how many of those were later demand-used (Figure 9c).
+func (t *Traffic) SourceAccuracy(src cache.Source) (inserted, useful uint64) {
+	return t.inserted[src], t.insertsUseful[src]
+}
+
+// MemFetchLines returns the number of DRAM line fetches for src.
+func (t *Traffic) MemFetchLines(src cache.Source) uint64 { return t.memFetches[src] }
+
+// Reset clears all accounting for a new measurement window.
+func (t *Traffic) Reset() {
+	*t = Traffic{lines: make(map[uint64]*lineState)}
+}

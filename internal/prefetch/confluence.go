@@ -1,0 +1,191 @@
+package prefetch
+
+import (
+	"ignite/internal/btb"
+	"ignite/internal/cache"
+	"ignite/internal/cfg"
+	"ignite/internal/engine"
+)
+
+// ConfluenceConfig follows the paper's Section 5.3: an 8K-entry index and a
+// 32K-entry history buffer with an LLC-like 50-cycle metadata access
+// latency (the paper models dedicated structures rather than LLC
+// virtualization).
+type ConfluenceConfig struct {
+	HistoryEntries int
+	IndexEntries   int
+	StreamWindow   int // lines prefetched per trigger
+	MetadataLat    int // cycles before stream prefetches start arriving
+}
+
+// DefaultConfluenceConfig returns the paper's parameters.
+func DefaultConfluenceConfig() ConfluenceConfig {
+	return ConfluenceConfig{
+		HistoryEntries: 32 * 1024,
+		IndexEntries:   8 * 1024,
+		StreamWindow:   12,
+		MetadataLat:    50,
+	}
+}
+
+// Confluence is a temporal-streaming unified instruction + BTB prefetcher:
+// it records the L1-I miss history, and on a later miss to a known line it
+// replays the following stream into the L1-I, predecoding the prefetched
+// blocks to fill the BTB with the (direct) branches they contain.
+type Confluence struct {
+	cfg ConfluenceConfig
+	eng *engine.Engine
+
+	history []uint64
+	histPos int
+	index   map[uint64]int
+	indexQ  []uint64 // FIFO of indexed lines for capacity eviction
+
+	// lineBranches maps a code line to the direct-branch BTB entries its
+	// predecode extracts — built once from the program.
+	lineBranches map[uint64][]btb.Entry
+
+	recording bool
+	armed     bool
+
+	// Stats
+	Triggers        int
+	LinesPrefetched int
+	BTBFills        int
+}
+
+// NewConfluence builds a Confluence instance for the engine's program.
+func NewConfluence(cfg ConfluenceConfig, eng *engine.Engine) *Confluence {
+	if cfg.HistoryEntries <= 0 {
+		cfg = DefaultConfluenceConfig()
+	}
+	c := &Confluence{
+		cfg:          cfg,
+		eng:          eng,
+		history:      make([]uint64, 0, cfg.HistoryEntries),
+		index:        make(map[uint64]int, cfg.IndexEntries),
+		lineBranches: buildLineBranches(eng.Program()),
+	}
+	return c
+}
+
+// buildLineBranches precomputes, per code line, the direct branches a
+// predecoder would extract from the line's instruction bytes.
+func buildLineBranches(p *cfg.Program) map[uint64][]btb.Entry {
+	m := make(map[uint64][]btb.Entry)
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if !b.CanBeTaken() || b.Kind.IsIndirect() && b.Kind != cfg.BranchReturn {
+			continue // indirect targets are not statically extractable
+		}
+		var target uint64
+		if b.Target != cfg.NoBlock {
+			target = p.Block(b.Target).Addr
+		}
+		la := b.BranchPC() &^ (cache.LineBytesConst - 1)
+		m[la] = append(m[la], btb.Entry{PC: b.BranchPC(), Target: target, Kind: b.Kind})
+	}
+	return m
+}
+
+var _ engine.Companion = (*Confluence)(nil)
+
+// Name implements engine.Companion.
+func (c *Confluence) Name() string { return "confluence" }
+
+// StartRecord begins recording the L1-I miss history.
+func (c *Confluence) StartRecord() {
+	c.recording = true
+}
+
+// StopRecord ends history recording (the history persists for replay).
+func (c *Confluence) StopRecord() { c.recording = false }
+
+// ArmReplay enables stream replay on L1-I misses.
+func (c *Confluence) ArmReplay() { c.armed = true }
+
+// DisarmReplay disables replay.
+func (c *Confluence) DisarmReplay() { c.armed = false }
+
+// BeginInvocation implements engine.Companion.
+func (c *Confluence) BeginInvocation() {
+	c.Triggers = 0
+	c.LinesPrefetched = 0
+	c.BTBFills = 0
+}
+
+// Tick implements engine.Companion (Confluence is event-driven).
+func (c *Confluence) Tick(now uint64, cycles int) {}
+
+// OnInstrFetch implements engine.Companion: record the miss stream and/or
+// trigger stream replay.
+func (c *Confluence) OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64) {
+	if lvl == cache.LvlL1I {
+		return // clean hit: neither a recordable nor a triggering miss
+	}
+	if c.recording {
+		c.recordMiss(lineAddr)
+	}
+	if c.armed {
+		c.trigger(lineAddr)
+	}
+}
+
+func (c *Confluence) recordMiss(lineAddr uint64) {
+	if len(c.history) < c.cfg.HistoryEntries {
+		c.history = append(c.history, lineAddr)
+		c.setIndex(lineAddr, len(c.history)-1)
+		return
+	}
+	// Circular overwrite.
+	old := c.history[c.histPos]
+	if pos, ok := c.index[old]; ok && pos == c.histPos {
+		delete(c.index, old)
+	}
+	c.history[c.histPos] = lineAddr
+	c.setIndex(lineAddr, c.histPos)
+	c.histPos = (c.histPos + 1) % c.cfg.HistoryEntries
+}
+
+func (c *Confluence) setIndex(lineAddr uint64, pos int) {
+	if _, exists := c.index[lineAddr]; !exists {
+		if len(c.index) >= c.cfg.IndexEntries && len(c.indexQ) > 0 {
+			// Capacity eviction, FIFO order.
+			victim := c.indexQ[0]
+			c.indexQ = c.indexQ[1:]
+			delete(c.index, victim)
+		}
+		c.indexQ = append(c.indexQ, lineAddr)
+	}
+	c.index[lineAddr] = pos
+}
+
+// trigger replays the stream following lineAddr's last recorded occurrence.
+func (c *Confluence) trigger(lineAddr uint64) {
+	pos, ok := c.index[lineAddr]
+	if !ok {
+		return
+	}
+	c.Triggers++
+	hier := c.eng.Hierarchy()
+	n := len(c.history)
+	for k := 1; k <= c.cfg.StreamWindow; k++ {
+		idx := pos + k
+		if idx >= n {
+			break
+		}
+		la := c.history[idx]
+		if from, issued := hier.PrefetchInstr(la, cache.SrcConfluence, cache.LvlL1I); issued {
+			// Metadata lookup latency delays stream timeliness.
+			c.eng.NotePendingLine(la, from, c.cfg.MetadataLat)
+			c.LinesPrefetched++
+		}
+		// Predecode fills the BTB with the line's direct branches.
+		for _, e := range c.lineBranches[la] {
+			if !c.eng.BTB().Contains(e.PC) {
+				c.eng.BTB().Insert(e, false)
+				c.BTBFills++
+			}
+		}
+	}
+}

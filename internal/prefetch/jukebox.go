@@ -1,0 +1,183 @@
+// Package prefetch implements the record/replay-style baseline prefetchers
+// the paper compares Ignite against: Jukebox [51], a temporal-streaming
+// prefetcher for off-chip instruction misses, and Confluence [33], a
+// unified temporal-streaming instruction+BTB prefetcher. (Next-line, FDP
+// and Boomerang are fetch-engine features and live inside the engine.)
+package prefetch
+
+import (
+	"encoding/binary"
+
+	"ignite/internal/cache"
+	"ignite/internal/engine"
+	"ignite/internal/memsys"
+)
+
+// JukeboxConfig follows the paper's Section 5.3: 16-entry compacted recent
+// region buffer (CRRB), 1 KiB regions, 16 KiB of metadata per direction,
+// prefetching into L2.
+type JukeboxConfig struct {
+	RegionBytes   int
+	CRRBEntries   int
+	MetadataBytes int
+	LinesPerCycle float64
+}
+
+// DefaultJukeboxConfig returns the paper's parameters.
+func DefaultJukeboxConfig() JukeboxConfig {
+	return JukeboxConfig{
+		RegionBytes:   1024,
+		CRRBEntries:   16,
+		MetadataBytes: 16 << 10,
+		LinesPerCycle: 4,
+	}
+}
+
+// Jukebox records the regions of L2 instruction misses during one
+// invocation and bulk-prefetches them into L2 at the start of the next.
+type Jukebox struct {
+	cfg JukeboxConfig
+	eng *engine.Engine
+
+	record *memsys.Region
+	replay *memsys.Region
+
+	crrb    []uint64
+	crrbPos int
+
+	recording bool
+	armed     bool
+
+	// replay state
+	active      bool
+	regionQueue []uint64
+	nextLine    uint64
+	linesLeft   int
+	credit      float64
+
+	// Stats
+	RegionsRecorded int
+	RegionsDropped  int
+	LinesPrefetched int
+}
+
+// NewJukebox creates a Jukebox instance with metadata regions from store.
+func NewJukebox(cfg JukeboxConfig, eng *engine.Engine, store *memsys.Store, container string) *Jukebox {
+	if cfg.RegionBytes <= 0 {
+		cfg = DefaultJukeboxConfig()
+	}
+	return &Jukebox{
+		cfg:    cfg,
+		eng:    eng,
+		record: store.Allocate(container+"/jukebox-rec", cfg.MetadataBytes),
+		replay: store.Allocate(container+"/jukebox-rep", cfg.MetadataBytes),
+		crrb:   make([]uint64, cfg.CRRBEntries),
+	}
+}
+
+var _ engine.Companion = (*Jukebox)(nil)
+
+// Name implements engine.Companion.
+func (j *Jukebox) Name() string { return "jukebox" }
+
+// StartRecord begins recording L2 instruction miss regions.
+func (j *Jukebox) StartRecord() {
+	j.record.ResetWrite()
+	for i := range j.crrb {
+		j.crrb[i] = ^uint64(0)
+	}
+	j.RegionsRecorded = 0
+	j.RegionsDropped = 0
+	j.recording = true
+}
+
+// StopRecord ends the record phase and publishes the stream for replay.
+func (j *Jukebox) StopRecord() {
+	j.recording = false
+	// Copy the recorded stream into the replay region (the OS would just
+	// swap pointers; we keep two regions for double-buffered operation).
+	j.replay.ResetWrite()
+	j.replay.Write(j.record.Bytes())
+}
+
+// ArmReplay schedules bulk prefetching at the next invocation start.
+func (j *Jukebox) ArmReplay() { j.armed = true }
+
+// DisarmReplay cancels replay.
+func (j *Jukebox) DisarmReplay() { j.armed = false; j.active = false }
+
+// BeginInvocation implements engine.Companion.
+func (j *Jukebox) BeginInvocation() {
+	if !j.armed {
+		return
+	}
+	j.replay.ResetRead()
+	j.regionQueue = j.regionQueue[:0]
+	buf := j.replay.Bytes()
+	for len(buf) >= 6 {
+		var raw [8]byte
+		copy(raw[:6], buf[:6])
+		j.regionQueue = append(j.regionQueue, binary.LittleEndian.Uint64(raw[:]))
+		buf = buf[6:]
+	}
+	if t := j.eng.Traffic(); t != nil {
+		t.AddReplayBytes(len(j.replay.Bytes()))
+	}
+	j.active = len(j.regionQueue) > 0
+	j.linesLeft = 0
+	j.credit = 0
+	j.LinesPrefetched = 0
+}
+
+// Tick implements engine.Companion: issue up to rate-limited prefetches.
+func (j *Jukebox) Tick(now uint64, cycles int) {
+	if !j.active {
+		return
+	}
+	j.credit += float64(cycles) * j.cfg.LinesPerCycle
+	for j.credit >= 1 {
+		j.credit--
+		if j.linesLeft == 0 {
+			if len(j.regionQueue) == 0 {
+				j.active = false
+				return
+			}
+			j.nextLine = j.regionQueue[0]
+			j.regionQueue = j.regionQueue[1:]
+			j.linesLeft = j.cfg.RegionBytes / cache.LineBytesConst
+		}
+		if from, issued := j.eng.Hierarchy().PrefetchInstr(j.nextLine, cache.SrcJukebox, cache.LvlL2); issued {
+			j.eng.NotePendingLine(j.nextLine, from, 0)
+			j.LinesPrefetched++
+		}
+		j.nextLine += cache.LineBytesConst
+		j.linesLeft--
+	}
+}
+
+// OnInstrFetch implements engine.Companion: the record side captures
+// demand instruction fetches that missed the L2 (served by LLC or DRAM).
+func (j *Jukebox) OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64) {
+	if !j.recording || lvl < cache.LvlLLC {
+		return
+	}
+	region := lineAddr &^ uint64(j.cfg.RegionBytes-1)
+	for _, r := range j.crrb {
+		if r == region {
+			return // recently recorded
+		}
+	}
+	j.crrb[j.crrbPos] = region
+	j.crrbPos = (j.crrbPos + 1) % len(j.crrb)
+
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], region)
+	if _, err := j.record.Write(raw[:6]); err != nil {
+		j.RegionsDropped++
+		return
+	}
+	j.RegionsRecorded++
+	if t := j.eng.Traffic(); t != nil {
+		t.AddRecordBytes(6)
+	}
+}

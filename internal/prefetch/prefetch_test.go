@@ -1,0 +1,168 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ignite/internal/cache"
+	"ignite/internal/engine"
+	"ignite/internal/memsys"
+	"ignite/internal/workload"
+)
+
+func testEngine(t *testing.T) (*engine.Engine, workload.Spec) {
+	t.Helper()
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.New(prog, engine.DefaultConfig()), spec
+}
+
+func runInv(t *testing.T, e *engine.Engine, seed, budget uint64) *engine.InvocationStats {
+	t.Helper()
+	st, err := e.RunInvocation(engine.InvocationOptions{Seed: seed, MaxInstr: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestJukeboxRecordReplayCycle(t *testing.T) {
+	eng, spec := testEngine(t)
+	store := memsys.NewStore()
+	jb := NewJukebox(DefaultJukeboxConfig(), eng, store, "test")
+	eng.AddCompanion(jb)
+	budget := spec.MaxInstr() / 2
+
+	// Record a lukewarm invocation.
+	eng.Thrash(1)
+	jb.StartRecord()
+	runInv(t, eng, 1, budget)
+	jb.StopRecord()
+	if jb.RegionsRecorded < 50 {
+		t.Fatalf("recorded only %d regions", jb.RegionsRecorded)
+	}
+	jb.ArmReplay()
+
+	// Replay on the next lukewarm invocation: off-chip misses collapse.
+	eng.Thrash(2)
+	withJB := runInv(t, eng, 2, budget)
+
+	// Compare against no replay.
+	eng2, _ := testEngine(t)
+	eng2.Thrash(1)
+	runInv(t, eng2, 1, budget)
+	eng2.Thrash(2)
+	without := runInv(t, eng2, 2, budget)
+
+	if withJB.OffChipInstrMisses >= without.OffChipInstrMisses/2 {
+		t.Errorf("Jukebox off-chip %d vs baseline %d: expected a large reduction",
+			withJB.OffChipInstrMisses, without.OffChipInstrMisses)
+	}
+	if jb.LinesPrefetched == 0 {
+		t.Error("no lines prefetched during replay")
+	}
+}
+
+func TestJukeboxCRRBDedup(t *testing.T) {
+	eng, _ := testEngine(t)
+	store := memsys.NewStore()
+	jb := NewJukebox(DefaultJukeboxConfig(), eng, store, "t")
+	jb.StartRecord()
+	// Repeated fetches in the same region must record once.
+	for i := 0; i < 10; i++ {
+		jb.OnInstrFetch(0x400000+uint64(i)*64, cache.LvlMem, 0)
+	}
+	if jb.RegionsRecorded != 1 {
+		t.Errorf("recorded %d regions for one 1KiB region", jb.RegionsRecorded)
+	}
+	// L2 hits are not recorded.
+	jb.OnInstrFetch(0x900000, cache.LvlL2, 0)
+	if jb.RegionsRecorded != 1 {
+		t.Error("recorded an on-chip fetch")
+	}
+}
+
+func TestJukeboxMetadataCap(t *testing.T) {
+	eng, _ := testEngine(t)
+	store := memsys.NewStore()
+	cfg := DefaultJukeboxConfig()
+	cfg.MetadataBytes = 60 // 10 region entries
+	jb := NewJukebox(cfg, eng, store, "t")
+	jb.StartRecord()
+	for i := 0; i < 100; i++ {
+		jb.OnInstrFetch(uint64(i)*1024*33, cache.LvlMem, 0)
+	}
+	if jb.RegionsRecorded != 10 {
+		t.Errorf("recorded %d regions into a 10-entry budget", jb.RegionsRecorded)
+	}
+	if jb.RegionsDropped != 90 {
+		t.Errorf("dropped %d, want 90", jb.RegionsDropped)
+	}
+}
+
+func TestConfluenceRecordsAndTriggers(t *testing.T) {
+	eng, spec := testEngine(t)
+	cf := NewConfluence(DefaultConfluenceConfig(), eng)
+	eng.AddCompanion(cf)
+	budget := spec.MaxInstr() / 2
+
+	eng.Thrash(1)
+	cf.StartRecord()
+	runInv(t, eng, 1, budget)
+	cf.StopRecord()
+	cf.ArmReplay()
+
+	eng.Thrash(2)
+	st := runInv(t, eng, 2, budget)
+	if cf.Triggers == 0 || cf.LinesPrefetched == 0 {
+		t.Errorf("confluence idle: triggers=%d lines=%d", cf.Triggers, cf.LinesPrefetched)
+	}
+	if cf.BTBFills == 0 {
+		t.Error("no predecode BTB fills")
+	}
+	_ = st
+}
+
+func TestConfluenceReducesBTBMisses(t *testing.T) {
+	eng, spec := testEngine(t)
+	cf := NewConfluence(DefaultConfluenceConfig(), eng)
+	eng.AddCompanion(cf)
+	budget := spec.MaxInstr() / 2
+
+	eng.Thrash(1)
+	cf.StartRecord()
+	runInv(t, eng, 1, budget)
+	cf.StopRecord()
+	cf.ArmReplay()
+	eng.Thrash(2)
+	with := runInv(t, eng, 2, budget)
+
+	eng2, _ := testEngine(t)
+	eng2.Thrash(1)
+	runInv(t, eng2, 1, budget)
+	eng2.Thrash(2)
+	without := runInv(t, eng2, 2, budget)
+
+	if with.BTBMisses >= without.BTBMisses {
+		t.Errorf("Confluence BTB misses %d >= baseline %d", with.BTBMisses, without.BTBMisses)
+	}
+}
+
+func TestConfluenceIndexCapacity(t *testing.T) {
+	eng, _ := testEngine(t)
+	cfg := DefaultConfluenceConfig()
+	cfg.IndexEntries = 8
+	cf := NewConfluence(cfg, eng)
+	cf.StartRecord()
+	for i := 0; i < 100; i++ {
+		cf.OnInstrFetch(uint64(i)*64, cache.LvlMem, 0)
+	}
+	if len(cf.index) > 8 {
+		t.Errorf("index grew to %d entries, cap 8", len(cf.index))
+	}
+}

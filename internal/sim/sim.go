@@ -1,0 +1,203 @@
+// Package sim assembles complete simulation setups: it maps the paper's
+// named front-end configurations (NL, FDP, Boomerang, Jukebox,
+// Boomerang+JB, Confluence, Ignite, Ignite+TAGE, Confluence+Ignite, Ideal)
+// onto an engine configuration plus the companion mechanisms each needs,
+// and runs them under the lukewarm protocol.
+package sim
+
+import (
+	"fmt"
+
+	"ignite/internal/cfg"
+	"ignite/internal/engine"
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/memsys"
+	"ignite/internal/prefetch"
+	"ignite/internal/workload"
+)
+
+// Kind names a front-end configuration from the paper.
+type Kind string
+
+const (
+	// KindNL is the baseline: aggressive next-line instruction prefetch
+	// plus stride data prefetch (active in every other configuration).
+	KindNL Kind = "nl"
+	// KindFDP adds the decoupled fetch-directed prefetcher.
+	KindFDP Kind = "fdp"
+	// KindBoomerang adds Boomerang's BTB-fill to FDP.
+	KindBoomerang Kind = "boomerang"
+	// KindJukebox is NL plus the Jukebox L2 instruction-region
+	// record/replay prefetcher.
+	KindJukebox Kind = "jukebox"
+	// KindBoomerangJB combines Boomerang and Jukebox.
+	KindBoomerangJB Kind = "boomerang+jb"
+	// KindConfluence is the temporal-streaming unified prefetcher.
+	KindConfluence Kind = "confluence"
+	// KindIgnite is Ignite on top of FDP (the paper's configuration).
+	KindIgnite Kind = "ignite"
+	// KindIgniteTAGE additionally preserves the TAGE tables across the
+	// thrash — the upper-bound variant of Section 6.1.
+	KindIgniteTAGE Kind = "ignite+tage"
+	// KindConfluenceIgnite pairs Confluence with Ignite (Section 6.5).
+	KindConfluenceIgnite Kind = "confluence+ignite"
+	// KindFDPIgnite is a synonym configuration name used in Figure 12.
+	KindFDPIgnite Kind = "fdp+ignite"
+	// KindIdeal is the ideal front-end: perfect L1-I and BTB with a
+	// pre-trained (preserved) CBP.
+	KindIdeal Kind = "ideal"
+)
+
+// Kinds lists every configuration in presentation order.
+func Kinds() []Kind {
+	return []Kind{KindNL, KindFDP, KindBoomerang, KindJukebox, KindBoomerangJB,
+		KindConfluence, KindIgnite, KindIgniteTAGE, KindConfluenceIgnite, KindIdeal}
+}
+
+// Tweaks adjusts a setup for the sensitivity studies.
+type Tweaks struct {
+	// Keep preserves extra structures across the thrash (Figs 4, 5).
+	Keep lukewarm.Preserve
+	// BIMPolicy overrides Ignite's bimodal initialization (Fig 11).
+	// Nil means the configuration default.
+	BIMPolicy *ignite.BIMPolicy
+	// DoubleBuffer records while replaying (worst-case bandwidth,
+	// Fig 10).
+	DoubleBuffer bool
+	// ThrottleThreshold overrides Ignite's replay throttle (0 = default).
+	ThrottleThreshold int
+	// MetadataBytes overrides Ignite's metadata budget (0 = default).
+	MetadataBytes int
+	// BTBEntries overrides the BTB capacity (0 = default 12K).
+	BTBEntries int
+}
+
+// Setup is a ready-to-run simulation of one (function, configuration) pair.
+type Setup struct {
+	Kind Kind
+	Spec workload.Spec
+	Prog *cfg.Program
+	Eng  *engine.Engine
+
+	Store      *memsys.Store
+	Mechanisms []lukewarm.Mechanism
+	Keep       lukewarm.Preserve
+
+	Ignite     *ignite.Ignite
+	Jukebox    *prefetch.Jukebox
+	Confluence *prefetch.Confluence
+}
+
+// New builds the setup for a workload under the named configuration.
+func New(spec workload.Spec, kind Kind, tw Tweaks) (*Setup, error) {
+	prog, _, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithProgram(spec, prog, kind, tw)
+}
+
+// NewWithProgram is New for a pre-built program (reuse across setups).
+func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, tw Tweaks) (*Setup, error) {
+	ec := engine.DefaultConfig()
+	ec.Data = spec.Data
+	if tw.BTBEntries > 0 {
+		ec.BTB.Entries = tw.BTBEntries
+	}
+
+	useIgnite := false
+	useJukebox := false
+	useConfluence := false
+
+	switch kind {
+	case KindNL:
+	case KindFDP:
+		ec.FDPEnabled = true
+	case KindBoomerang:
+		ec.FDPEnabled = true
+		ec.BoomerangEnabled = true
+	case KindJukebox:
+		useJukebox = true
+	case KindBoomerangJB:
+		ec.FDPEnabled = true
+		ec.BoomerangEnabled = true
+		useJukebox = true
+	case KindConfluence:
+		useConfluence = true
+	case KindIgnite, KindFDPIgnite:
+		ec.FDPEnabled = true
+		useIgnite = true
+	case KindIgniteTAGE:
+		ec.FDPEnabled = true
+		useIgnite = true
+		tw.Keep.TAGE = true
+	case KindConfluenceIgnite:
+		useConfluence = true
+		useIgnite = true
+	case KindIdeal:
+		ec.FDPEnabled = true
+		ec.PerfectL1I = true
+		ec.PerfectBTB = true
+		tw.Keep.BIM = true
+		tw.Keep.TAGE = true
+	default:
+		return nil, fmt.Errorf("sim: unknown configuration %q", kind)
+	}
+
+	eng := engine.New(prog, ec)
+	s := &Setup{
+		Kind:  kind,
+		Spec:  spec,
+		Prog:  prog,
+		Eng:   eng,
+		Store: memsys.NewStore(),
+		Keep:  tw.Keep,
+	}
+
+	if useJukebox {
+		s.Jukebox = prefetch.NewJukebox(prefetch.DefaultJukeboxConfig(), eng, s.Store, spec.Name)
+		eng.AddCompanion(s.Jukebox)
+		s.Mechanisms = append(s.Mechanisms, s.Jukebox)
+	}
+	if useConfluence {
+		s.Confluence = prefetch.NewConfluence(prefetch.DefaultConfluenceConfig(), eng)
+		eng.AddCompanion(s.Confluence)
+		s.Mechanisms = append(s.Mechanisms, s.Confluence)
+	}
+	if useIgnite {
+		igCfg := ignite.DefaultConfig()
+		igCfg.DoubleBuffer = tw.DoubleBuffer
+		if tw.BIMPolicy != nil {
+			igCfg.Replay.Policy = *tw.BIMPolicy
+		}
+		if tw.ThrottleThreshold > 0 {
+			igCfg.Replay.ThrottleThreshold = tw.ThrottleThreshold
+		}
+		if tw.MetadataBytes > 0 {
+			igCfg.MetadataBytes = tw.MetadataBytes
+		}
+		s.Ignite = ignite.New(igCfg, eng, s.Store, spec.Name)
+		s.Ignite.Install()
+		s.Mechanisms = append(s.Mechanisms, igniteMechanism{s.Ignite})
+	}
+	return s, nil
+}
+
+// igniteMechanism adapts *ignite.Ignite to the lukewarm.Mechanism interface.
+type igniteMechanism struct{ ig *ignite.Ignite }
+
+func (m igniteMechanism) StartRecord() { m.ig.StartRecord() }
+func (m igniteMechanism) StopRecord()  { m.ig.StopRecord() }
+func (m igniteMechanism) ArmReplay()   { m.ig.ArmReplay() }
+
+// Run executes the lukewarm protocol in the given mode.
+func (s *Setup) Run(mode lukewarm.Mode) (*lukewarm.Result, error) {
+	return lukewarm.Run(s.Eng, lukewarm.Options{
+		MaxInstr:   s.Spec.MaxInstr(),
+		Mode:       mode,
+		Keep:       s.Keep,
+		Mechanisms: s.Mechanisms,
+		SeedBase:   s.Spec.Gen.Seed * 1000,
+	})
+}

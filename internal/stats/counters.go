@@ -1,0 +1,52 @@
+// Package stats provides the statistics substrate shared by every component
+// of the simulator: raw counters, MPKI and CPI-stack derivation, aggregation
+// across workloads (arithmetic and geometric means), and plain-text rendering
+// of the tables and series reported in the Ignite paper.
+package stats
+
+import "fmt"
+
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// PerKilo returns events per thousand units of base (e.g. misses per kilo
+// instruction). It returns 0 when base is 0.
+func (c *Counter) PerKilo(base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(c.n) * 1000 / float64(base)
+}
+
+// Ratio returns the counter as a fraction of base, or 0 when base is 0.
+func (c *Counter) Ratio(base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(base)
+}
+
+func (c *Counter) String() string { return fmt.Sprintf("%d", c.n) }
+
+// MPKI computes misses per kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "fmt"
+
+// CPIStack breaks execution cycles into the four top-down categories used by
+// the paper's Figure 1: retiring (useful work), fetch-bound (instruction
+// cache/TLB stalls), bad speculation (BTB misses and conditional branch
+// mispredictions, including wrong-path work), and backend-bound (data-side
+// stalls). All values are in cycles.
+type CPIStack struct {
+	Retiring float64
+	Fetch    float64
+	BadSpec  float64
+	Backend  float64
+}
+
+// Total returns the total cycle count of the stack.
+func (s CPIStack) Total() float64 {
+	return s.Retiring + s.Fetch + s.BadSpec + s.Backend
+}
+
+// FrontEnd returns the combined front-end stall cycles (fetch-bound plus bad
+// speculation), the quantity the paper calls "front-end stalls".
+func (s CPIStack) FrontEnd() float64 { return s.Fetch + s.BadSpec }
+
+// PerInstr divides every component by the instruction count, turning a cycle
+// stack into a CPI stack.
+func (s CPIStack) PerInstr(instructions uint64) CPIStack {
+	if instructions == 0 {
+		return CPIStack{}
+	}
+	n := float64(instructions)
+	return CPIStack{
+		Retiring: s.Retiring / n,
+		Fetch:    s.Fetch / n,
+		BadSpec:  s.BadSpec / n,
+		Backend:  s.Backend / n,
+	}
+}
+
+// Add returns the component-wise sum of two stacks.
+func (s CPIStack) Add(o CPIStack) CPIStack {
+	return CPIStack{
+		Retiring: s.Retiring + o.Retiring,
+		Fetch:    s.Fetch + o.Fetch,
+		BadSpec:  s.BadSpec + o.BadSpec,
+		Backend:  s.Backend + o.Backend,
+	}
+}
+
+// Scale returns the stack with every component multiplied by f.
+func (s CPIStack) Scale(f float64) CPIStack {
+	return CPIStack{
+		Retiring: s.Retiring * f,
+		Fetch:    s.Fetch * f,
+		BadSpec:  s.BadSpec * f,
+		Backend:  s.Backend * f,
+	}
+}
+
+func (s CPIStack) String() string {
+	return fmt.Sprintf("CPI %.3f (ret %.3f, fetch %.3f, badspec %.3f, backend %.3f)",
+		s.Total(), s.Retiring, s.Fetch, s.BadSpec, s.Backend)
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero value counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after Reset counter = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterPerKilo(t *testing.T) {
+	var c Counter
+	c.Add(37)
+	if got := c.PerKilo(1000); !almostEqual(got, 37) {
+		t.Errorf("PerKilo(1000) = %v, want 37", got)
+	}
+	if got := c.PerKilo(2000); !almostEqual(got, 18.5) {
+		t.Errorf("PerKilo(2000) = %v, want 18.5", got)
+	}
+	if got := c.PerKilo(0); got != 0 {
+		t.Errorf("PerKilo(0) = %v, want 0", got)
+	}
+}
+
+func TestCounterRatio(t *testing.T) {
+	var c Counter
+	c.Add(25)
+	if got := c.Ratio(100); !almostEqual(got, 0.25) {
+		t.Errorf("Ratio(100) = %v, want 0.25", got)
+	}
+	if got := c.Ratio(0); got != 0 {
+		t.Errorf("Ratio(0) = %v, want 0", got)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(37, 1000); !almostEqual(got, 37) {
+		t.Errorf("MPKI(37,1000) = %v, want 37", got)
+	}
+	if got := MPKI(5, 0); got != 0 {
+		t.Errorf("MPKI with zero instructions = %v, want 0", got)
+	}
+}
+
+func TestCPIStackTotals(t *testing.T) {
+	s := CPIStack{Retiring: 1, Fetch: 2, BadSpec: 3, Backend: 4}
+	if !almostEqual(s.Total(), 10) {
+		t.Errorf("Total = %v, want 10", s.Total())
+	}
+	if !almostEqual(s.FrontEnd(), 5) {
+		t.Errorf("FrontEnd = %v, want 5", s.FrontEnd())
+	}
+}
+
+func TestCPIStackPerInstr(t *testing.T) {
+	s := CPIStack{Retiring: 100, Fetch: 50, BadSpec: 30, Backend: 20}
+	p := s.PerInstr(100)
+	if !almostEqual(p.Retiring, 1) || !almostEqual(p.Fetch, 0.5) ||
+		!almostEqual(p.BadSpec, 0.3) || !almostEqual(p.Backend, 0.2) {
+		t.Errorf("PerInstr = %+v", p)
+	}
+	if got := s.PerInstr(0); got.Total() != 0 {
+		t.Errorf("PerInstr(0) = %+v, want zero stack", got)
+	}
+}
+
+func TestCPIStackAddScale(t *testing.T) {
+	a := CPIStack{Retiring: 1, Fetch: 2, BadSpec: 3, Backend: 4}
+	b := CPIStack{Retiring: 4, Fetch: 3, BadSpec: 2, Backend: 1}
+	sum := a.Add(b)
+	if !almostEqual(sum.Total(), 20) {
+		t.Errorf("Add Total = %v, want 20", sum.Total())
+	}
+	sc := a.Scale(2)
+	if !almostEqual(sc.Total(), 20) || !almostEqual(sc.Fetch, 4) {
+		t.Errorf("Scale = %+v", sc)
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); !almostEqual(got, 2.5) {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	g := GeoMean([]float64{1, 4})
+	if !almostEqual(g, 2) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Errorf("empty means should be 0")
+	}
+}
+
+func TestGeoMeanNonPositiveClamped(t *testing.T) {
+	g := GeoMean([]float64{0, 1})
+	if math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Errorf("GeoMean with zero produced %v", g)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if got := Median(xs); !almostEqual(got, 4) {
+		t.Errorf("Median = %v, want 4", got)
+	}
+	if got := Median([]float64{3, 1, 2}); !almostEqual(got, 2) {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Errorf("empty slice aggregates should be 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+// Property: mean is always between min and max.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: geometric mean never exceeds arithmetic mean for positive input.
+func TestAMGMProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1) // strictly positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("My Title", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	out := tab.String()
+	if !strings.Contains(out, "My Title") {
+		t.Errorf("missing title in %q", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("missing cells in %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("", "a", "long-header")
+	tab.AddRow("xxxxxxxxxx", "y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All lines should be equally padded (same width).
+	w := len(lines[1])
+	for _, ln := range lines[1:] {
+		if len(strings.TrimRight(ln, " ")) > w {
+			t.Errorf("misaligned line %q", ln)
+		}
+	}
+}

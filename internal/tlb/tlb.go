@@ -1,0 +1,168 @@
+// Package tlb models the instruction TLB. Ignite's replay translates every
+// restored branch PC through the MMU, so replay doubles as an I-TLB
+// prefetcher (Section 4.2 of the paper); lukewarm invocations otherwise
+// start with a cold I-TLB and pay page-walk latency on first touch of every
+// code page.
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ignite/internal/stats"
+)
+
+// Config describes TLB geometry.
+type Config struct {
+	Entries   int
+	Ways      int
+	PageBytes int
+	// WalkLatency is the page-walk cost of a miss, in cycles.
+	WalkLatency int
+}
+
+// DefaultConfig models a 128-entry, 8-way ITLB with 4 KiB pages and a
+// 60-cycle page walk.
+func DefaultConfig() Config {
+	return Config{Entries: 128, Ways: 8, PageBytes: 4096, WalkLatency: 60}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	Lookups stats.Counter
+	Misses  stats.Counter
+	Fills   stats.Counter
+}
+
+type entry struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// TLB is a set-associative translation buffer. Construct with New.
+type TLB struct {
+	cfg      Config
+	sets     int
+	setMask  uint64
+	pageBits uint
+	entries  []entry
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a TLB; sets must come out a power of two.
+func New(c Config) (*TLB, error) {
+	if c.Entries <= 0 || c.Ways <= 0 || c.Entries%c.Ways != 0 {
+		return nil, fmt.Errorf("tlb: bad geometry %+v", c)
+	}
+	sets := c.Entries / c.Ways
+	if bits.OnesCount(uint(sets)) != 1 {
+		return nil, fmt.Errorf("tlb: %d sets not a power of two", sets)
+	}
+	if c.PageBytes <= 0 || bits.OnesCount(uint(c.PageBytes)) != 1 {
+		return nil, fmt.Errorf("tlb: page size %d not a power of two", c.PageBytes)
+	}
+	return &TLB{
+		cfg:      c,
+		sets:     sets,
+		setMask:  uint64(sets - 1),
+		pageBits: uint(bits.TrailingZeros(uint(c.PageBytes))),
+		entries:  make([]entry, c.Entries),
+	}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(c Config) *TLB {
+	t, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Stats returns the statistics collector.
+func (t *TLB) Stats() *Stats { return &t.stats }
+
+func (t *TLB) index(addr uint64) (set, tag uint64) {
+	vpn := addr >> t.pageBits
+	return vpn & t.setMask, vpn >> uint(bits.TrailingZeros(uint(t.sets)))
+}
+
+func (t *TLB) setSlice(set uint64) []entry {
+	start := int(set) * t.cfg.Ways
+	return t.entries[start : start+t.cfg.Ways]
+}
+
+// Translate looks up addr's page, returning the added latency (0 on hit,
+// WalkLatency on miss) and whether it hit. A miss fills the TLB.
+func (t *TLB) Translate(addr uint64) (extraLatency int, hit bool) {
+	set, tag := t.index(addr)
+	es := t.setSlice(set)
+	t.stats.Lookups.Inc()
+	t.tick++
+	for i := range es {
+		if es[i].valid && es[i].tag == tag {
+			es[i].lastUse = t.tick
+			return 0, true
+		}
+	}
+	t.stats.Misses.Inc()
+	t.fill(set, tag)
+	return t.cfg.WalkLatency, false
+}
+
+// Prefill inserts addr's translation without charging latency — Ignite's
+// replay-side I-TLB warming.
+func (t *TLB) Prefill(addr uint64) {
+	set, tag := t.index(addr)
+	for i := range t.setSlice(set) {
+		e := &t.setSlice(set)[i]
+		if e.valid && e.tag == tag {
+			return
+		}
+	}
+	t.fill(set, tag)
+}
+
+func (t *TLB) fill(set, tag uint64) {
+	es := t.setSlice(set)
+	t.tick++
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for i := range es {
+		if !es[i].valid {
+			victim = i
+			break
+		}
+		if es[i].lastUse < oldest {
+			oldest = es[i].lastUse
+			victim = i
+		}
+	}
+	es[victim] = entry{valid: true, tag: tag, lastUse: t.tick}
+	t.stats.Fills.Inc()
+}
+
+// Contains probes without updating recency.
+func (t *TLB) Contains(addr uint64) bool {
+	set, tag := t.index(addr)
+	for i := range t.setSlice(set) {
+		e := &t.setSlice(set)[i]
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all translations.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.tick = 0
+}
+
+// ResetStats clears counters.
+func (t *TLB) ResetStats() { t.stats = Stats{} }

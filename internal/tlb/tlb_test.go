@@ -1,0 +1,108 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *TLB {
+	t.Helper()
+	tb, err := New(Config{Entries: 16, Ways: 4, PageBytes: 4096, WalkLatency: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Entries: 0, Ways: 4, PageBytes: 4096},
+		{Entries: 16, Ways: 3, PageBytes: 4096},
+		{Entries: 24, Ways: 4, PageBytes: 4096}, // 6 sets
+		{Entries: 16, Ways: 4, PageBytes: 1000},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tb := small(t)
+	lat, hit := tb.Translate(0x400000)
+	if hit || lat != 60 {
+		t.Fatalf("first access: lat=%d hit=%v", lat, hit)
+	}
+	lat, hit = tb.Translate(0x400fff) // same 4K page
+	if !hit || lat != 0 {
+		t.Fatalf("same page: lat=%d hit=%v", lat, hit)
+	}
+	if _, hit := tb.Translate(0x401000); hit {
+		t.Fatal("next page should miss")
+	}
+	st := tb.Stats()
+	if st.Lookups.Value() != 3 || st.Misses.Value() != 2 || st.Fills.Value() != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestPrefillAvoidsWalk(t *testing.T) {
+	tb := small(t)
+	tb.Prefill(0x8000_0000)
+	if lat, hit := tb.Translate(0x8000_0123); !hit || lat != 0 {
+		t.Errorf("prefilled page missed (lat=%d hit=%v)", lat, hit)
+	}
+	// Prefill of a present page is a no-op.
+	fills := tb.Stats().Fills.Value()
+	tb.Prefill(0x8000_0000)
+	if tb.Stats().Fills.Value() != fills {
+		t.Error("duplicate prefill filled again")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := small(t) // 4 sets, 4 ways; same-set stride = 4 pages
+	stride := uint64(4 * 4096)
+	for i := 0; i < 4; i++ {
+		tb.Translate(uint64(i) * stride)
+	}
+	tb.Translate(0) // refresh first
+	tb.Translate(4 * stride)
+	if !tb.Contains(0) {
+		t.Error("MRU page evicted")
+	}
+	if tb.Contains(1 * stride) {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb := small(t)
+	tb.Translate(0x1000)
+	tb.Flush()
+	if tb.Contains(0x1000) {
+		t.Error("entry survived flush")
+	}
+}
+
+func TestTranslateProperty(t *testing.T) {
+	tb := small(t)
+	f := func(pages []uint16) bool {
+		for _, p := range pages {
+			addr := uint64(p) * 4096
+			tb.Translate(addr)
+			// Immediately after translating, the page must be present.
+			if !tb.Contains(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

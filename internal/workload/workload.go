@@ -1,0 +1,247 @@
+// Package workload defines the 20 serverless functions of the paper's
+// Table 1 as calibrated synthetic-program specifications. The paper runs
+// the real vSwarm functions (Python, NodeJS and Go runtimes) under gem5; we
+// have no binaries, so each function is a generator parameter set whose
+// working sets match the paper's Figure 2 characterization:
+//
+//   - instruction working sets of 240-620 KiB per invocation,
+//   - branch working sets of 5.4K (Auth-G) to ~14K (RecO-P) BTB entries,
+//   - Python/NodeJS interpreters are indirect-branch heavy with the largest
+//     footprints; NodeJS JIT code is the most branch-dense; Go binaries are
+//     the most compact.
+package workload
+
+import (
+	"fmt"
+
+	"ignite/internal/cfg"
+	"ignite/internal/engine"
+)
+
+// Lang is the function's language runtime.
+type Lang uint8
+
+const (
+	Python Lang = iota
+	NodeJS
+	Go
+)
+
+func (l Lang) String() string {
+	switch l {
+	case Python:
+		return "Python"
+	case NodeJS:
+		return "NodeJS"
+	case Go:
+		return "Go"
+	default:
+		return "?"
+	}
+}
+
+// Suffix returns the abbreviation suffix used in the paper (P/N/G).
+func (l Lang) Suffix() string {
+	switch l {
+	case Python:
+		return "P"
+	case NodeJS:
+		return "N"
+	case Go:
+		return "G"
+	default:
+		return "?"
+	}
+}
+
+// Spec describes one serverless function.
+type Spec struct {
+	// Name is the paper's abbreviation, e.g. "AES-P".
+	Name string
+	// FullName is the human-readable function name, e.g. "AES (Python)".
+	FullName string
+	Lang     Lang
+
+	// Gen holds the calibrated program-generator parameters.
+	Gen cfg.GenParams
+	// Data is the data-side access profile.
+	Data engine.DataConfig
+	// TargetInstr is the intended dynamic instruction count of one
+	// invocation; MaxInstr caps runaway traces at 3x this value.
+	TargetInstr uint64
+}
+
+// MaxInstr returns the per-invocation instruction budget. The handler's
+// request loop is long enough that the budget, not the program, determines
+// invocation length — mirroring the fixed-length invocations the paper
+// traces.
+func (s Spec) MaxInstr() uint64 { return s.TargetInstr }
+
+// Build generates the function's program.
+func (s Spec) Build() (*cfg.Program, cfg.GenReport, error) {
+	p, rep, err := cfg.Generate(s.Gen)
+	if err != nil {
+		return nil, rep, fmt.Errorf("workload %s: %w", s.Name, err)
+	}
+	return p, rep, nil
+}
+
+// langDefaults returns the per-runtime generator flavor.
+func langDefaults(l Lang, seed uint64) cfg.GenParams {
+	switch l {
+	case Python:
+		// Interpreter: big code footprint, heavy indirect dispatch,
+		// deep call chains.
+		return cfg.GenParams{
+			Seed:             seed,
+			MeanFuncBytes:    2048,
+			CallSpan:         14,
+			IndirectFrac:     0.50,
+			PeriodicFrac:     0.07,
+			NeverTakenFrac:   0.14,
+			HardFrac:         0.04,
+			ColdElseFrac:     0.10,
+			MeanLoopTrips:    2.2,
+			FixedLoopFrac:    0.75,
+			RequestLoopTrips: 50,
+		}
+	case NodeJS:
+		// JIT code: branch-dense, moderately indirect (inline caches),
+		// many history-correlated guards.
+		return cfg.GenParams{
+			Seed:             seed,
+			MeanFuncBytes:    2048,
+			CallSpan:         12,
+			IndirectFrac:     0.40,
+			PeriodicFrac:     0.12,
+			NeverTakenFrac:   0.16,
+			HardFrac:         0.05,
+			ColdElseFrac:     0.08,
+			MeanLoopTrips:    2.0,
+			FixedLoopFrac:    0.75,
+			RequestLoopTrips: 50,
+		}
+	default:
+		// Go: compact static binaries, mostly direct calls.
+		return cfg.GenParams{
+			Seed:             seed,
+			MeanFuncBytes:    2560,
+			CallSpan:         10,
+			IndirectFrac:     0.18,
+			PeriodicFrac:     0.08,
+			NeverTakenFrac:   0.18,
+			HardFrac:         0.04,
+			ColdElseFrac:     0.08,
+			MeanLoopTrips:    2.0,
+			FixedLoopFrac:    0.75,
+			RequestLoopTrips: 50,
+		}
+	}
+}
+
+// Calibration multipliers mapping desired *measured* per-invocation working
+// sets (the spec arguments, taken from Figure 2) to generator inputs. A
+// single invocation takes many rarely-executed paths never and many biased
+// branches in only one direction, so the static program must be larger than
+// the per-invocation working set. Values fitted empirically (see
+// TestWorkingSetsMatchFigure2).
+var codeCalib = map[Lang]float64{Python: 0.75, NodeJS: 0.82, Go: 1.04}
+
+var siteCalib = map[Lang]float64{Python: 2.04, NodeJS: 1.87, Go: 2.55}
+
+// spec assembles one Spec from the per-function calibration knobs: codeKiB
+// and branchSites are the desired measured working sets of one invocation.
+func spec(name, fullName string, l Lang, seed uint64, codeKiB, branchSites int,
+	targetInstr uint64, data engine.DataConfig) Spec {
+	gp := langDefaults(l, seed)
+	gp.Name = name
+	gp.CodeKiB = int(codeCalib[l] * float64(codeKiB))
+	gp.BranchSites = int(siteCalib[l] * float64(branchSites))
+	return Spec{
+		Name:        name,
+		FullName:    fullName,
+		Lang:        l,
+		Gen:         gp,
+		Data:        data,
+		TargetInstr: targetInstr,
+	}
+}
+
+func data(footprintKiB int, memOpFrac, hotFrac, strideFrac float64) engine.DataConfig {
+	d := engine.DefaultDataConfig()
+	d.FootprintBytes = uint64(footprintKiB) << 10
+	d.MemOpFrac = memOpFrac
+	d.HotFrac = hotFrac
+	d.StrideFrac = strideFrac
+	return d
+}
+
+// All returns the 20 functions of Table 1 in the order the paper's figures
+// plot them (Python, NodeJS, Go).
+func All() []Spec {
+	return []Spec{
+		// ---- Python -------------------------------------------------
+		spec("AES-P", "AES encryption", Python, 101, 540, 11500, 900_000,
+			data(576, 0.30, 0.88, 0.45)),
+		spec("Auth-P", "API-gateway authentication", Python, 102, 500, 10500, 750_000,
+			data(384, 0.32, 0.86, 0.30)),
+		spec("Fib-P", "Fibonacci", Python, 103, 460, 10000, 700_000,
+			data(384, 0.28, 0.90, 0.25)),
+		spec("Email-P", "Online Boutique: Email", Python, 104, 560, 12000, 950_000,
+			data(768, 0.33, 0.84, 0.35)),
+		spec("RecO-P", "Online Boutique: Recommendation", Python, 105, 560, 14000, 1_050_000,
+			data(960, 0.34, 0.82, 0.35)),
+		// ---- NodeJS -------------------------------------------------
+		spec("AES-N", "AES encryption", NodeJS, 201, 440, 11000, 800_000,
+			data(576, 0.30, 0.87, 0.40)),
+		spec("Auth-N", "API-gateway authentication", NodeJS, 202, 420, 10000, 700_000,
+			data(384, 0.31, 0.86, 0.30)),
+		spec("Fib-N", "Fibonacci", NodeJS, 203, 390, 9200, 650_000,
+			data(384, 0.27, 0.90, 0.25)),
+		spec("Curr-N", "Online Boutique: Currency", NodeJS, 204, 470, 11800, 850_000,
+			data(576, 0.32, 0.85, 0.35)),
+		spec("Pay-N", "Online Boutique: Payment", NodeJS, 205, 490, 12500, 900_000,
+			data(576, 0.33, 0.85, 0.35)),
+		// ---- Go -----------------------------------------------------
+		spec("AES-G", "AES encryption", Go, 301, 330, 7200, 650_000,
+			data(576, 0.29, 0.88, 0.45)),
+		spec("Auth-G", "API-gateway authentication", Go, 302, 250, 5400, 480_000,
+			data(384, 0.30, 0.88, 0.30)),
+		spec("Fib-G", "Fibonacci", Go, 303, 240, 6300, 450_000,
+			data(192, 0.26, 0.92, 0.25)),
+		spec("Geo-G", "Hotel Reservation: Geo", Go, 304, 300, 6800, 560_000,
+			data(576, 0.31, 0.86, 0.35)),
+		spec("Prof-G", "Hotel Reservation: Profile", Go, 305, 340, 7600, 620_000,
+			data(768, 0.32, 0.85, 0.35)),
+		spec("Rate-G", "Hotel Reservation: Rate", Go, 306, 320, 7000, 580_000,
+			data(576, 0.31, 0.86, 0.35)),
+		spec("RecH-G", "Hotel Reservation: Recommendation", Go, 307, 360, 8200, 640_000,
+			data(768, 0.32, 0.84, 0.35)),
+		spec("Res-G", "Hotel Reservation: Reservation", Go, 308, 380, 8600, 680_000,
+			data(768, 0.33, 0.84, 0.35)),
+		spec("User-G", "Hotel Reservation: User", Go, 309, 280, 6200, 520_000,
+			data(384, 0.30, 0.88, 0.30)),
+		spec("Ship-G", "Online Boutique: Shipping", Go, 310, 310, 7000, 570_000,
+			data(576, 0.31, 0.86, 0.35)),
+	}
+}
+
+// ByName returns the named spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown function %q", name)
+}
+
+// Names returns all function names in plot order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

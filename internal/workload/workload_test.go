@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllHas20Functions(t *testing.T) {
+	specs := All()
+	if len(specs) != 20 {
+		t.Fatalf("got %d functions, want 20 (Table 1)", len(specs))
+	}
+	names := map[string]bool{}
+	langCount := map[Lang]int{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		langCount[s.Lang]++
+		wantSuffix := "-" + s.Lang.Suffix()
+		if !strings.HasSuffix(s.Name, wantSuffix) {
+			t.Errorf("%s: suffix does not match language %v", s.Name, s.Lang)
+		}
+	}
+	if langCount[Python] != 5 || langCount[NodeJS] != 5 || langCount[Go] != 10 {
+		t.Errorf("language mix = %v, want 5P/5N/10G", langCount)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("Auth-G")
+	if err != nil || s.Name != "Auth-G" {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown function")
+	}
+}
+
+func TestSpecsBuildAndValidate(t *testing.T) {
+	for _, s := range All() {
+		p, rep, err := s.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid program: %v", s.Name, err)
+		}
+		if rep.NumFuncs < 10 {
+			t.Errorf("%s: suspiciously few functions (%d)", s.Name, rep.NumFuncs)
+		}
+	}
+}
+
+// The central Figure 2 calibration: instruction working sets in roughly
+// 240-620 KiB and branch working sets in roughly 5.4K-14K entries, with the
+// paper's extremes in the right places.
+func TestWorkingSetsMatchFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("working-set calibration is slow")
+	}
+	sets := map[string]WorkingSet{}
+	for _, s := range All() {
+		p, _, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := MeasureWorkingSet(p, 42, s.MaxInstr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[s.Name] = ws
+		kib := float64(ws.InstrBytes) / 1024
+		if kib < 190 || kib > 760 {
+			t.Errorf("%s: instruction WS %.0f KiB outside the paper's 240-620 band (with tolerance)", s.Name, kib)
+		}
+		if ws.BTBEntries < 4200 || ws.BTBEntries > 16000 {
+			t.Errorf("%s: branch WS %d entries outside the paper's 5.4K-14K band (with tolerance)", s.Name, ws.BTBEntries)
+		}
+		if ws.DynInstr < s.TargetInstr/3 {
+			t.Errorf("%s: dynamic length %d << target %d", s.Name, ws.DynInstr, s.TargetInstr)
+		}
+	}
+	// Paper's extremes: Auth-G smallest branch WS, RecO-P largest.
+	for name, ws := range sets {
+		if name == "Auth-G" || name == "RecO-P" {
+			continue
+		}
+		if ws.BTBEntries < sets["Auth-G"].BTBEntries-500 {
+			t.Errorf("%s branch WS (%d) below Auth-G (%d)", name, ws.BTBEntries, sets["Auth-G"].BTBEntries)
+		}
+		if ws.BTBEntries > sets["RecO-P"].BTBEntries+500 {
+			t.Errorf("%s branch WS (%d) above RecO-P (%d)", name, ws.BTBEntries, sets["RecO-P"].BTBEntries)
+		}
+	}
+}
+
+func TestWorkingSetDeterminism(t *testing.T) {
+	s, _ := ByName("Fib-G")
+	p, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MeasureWorkingSet(p, 7, s.MaxInstr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureWorkingSet(p, 7, s.MaxInstr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("working set not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestInvocationCommonality(t *testing.T) {
+	// Two invocations (different seeds) of the same function must share
+	// most of their branch working set — the property Ignite's
+	// record/replay exploits (Section 6.2 "high commonality").
+	s, _ := ByName("Curr-N")
+	p, _, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := MeasureWorkingSet(p, 1, s.MaxInstr())
+	b, _ := MeasureWorkingSet(p, 2, s.MaxInstr())
+	// Compare sizes as a proxy (full overlap needs the sets; size
+	// stability plus same program implies overlap here).
+	ratio := float64(a.BTBEntries) / float64(b.BTBEntries)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("branch WS varies too much across invocations: %d vs %d", a.BTBEntries, b.BTBEntries)
+	}
+}
+
+func TestLangString(t *testing.T) {
+	if Python.String() != "Python" || NodeJS.Suffix() != "N" || Go.Suffix() != "G" {
+		t.Error("Lang naming broken")
+	}
+}
