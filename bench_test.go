@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"runtime"
 	"testing"
 
 	"ignite/internal/experiments"
@@ -38,6 +39,40 @@ func runExperiment(b *testing.B, id string, metrics func(*experiments.Result, *t
 		}
 		if i == b.N-1 && metrics != nil {
 			metrics(res, b)
+		}
+	}
+}
+
+// BenchmarkRunAll times the complete all-figures reproduction (the 15 paper
+// tables/figures) on the bench subset through the cell scheduler with a
+// shared cell cache — the path cmd/ignite-bench -exp all takes. Compare
+// against BenchmarkRunAllSerialNoCache for the pre-scheduler baseline.
+func BenchmarkRunAll(b *testing.B) {
+	opt := benchOpts(b)
+	opt.Parallel = runtime.NumCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh cache per iteration: reuse happens within one
+		// all-figures run, never across benchmark iterations.
+		opt.Cache = experiments.NewCellCache()
+		if _, err := experiments.RunAll(experiments.PaperIDs(), opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSerialNoCache replays the pre-scheduler execution shape:
+// parallelism only across workloads, configurations serial inside each
+// workload, and no cell sharing between experiments.
+func BenchmarkRunAllSerialNoCache(b *testing.B) {
+	opt := benchOpts(b)
+	opt.SerialConfigs = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range experiments.PaperIDs() {
+			if _, err := experiments.Run(id, opt); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -5,12 +5,15 @@
 //	ignite-bench -exp all                # every experiment, all 20 functions
 //	ignite-bench -exp fig8,fig9a         # selected experiments
 //	ignite-bench -exp fig3 -workloads Auth-G,Curr-N -parallel 4
+//	ignite-bench -exp all -json          # also write BENCH.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -18,11 +21,34 @@ import (
 	"ignite/internal/workload"
 )
 
+// expReport is the per-experiment entry of BENCH.json.
+type expReport struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	WallClockNs int64  `json:"wallClockNs"`
+	NsPerOp     int64  `json:"nsPerOp"` // identical to WallClockNs: one op = one experiment run
+	AllocsPerOp uint64 `json:"allocsPerOp"`
+	BytesPerOp  uint64 `json:"bytesPerOp"`
+}
+
+// benchReport is the BENCH.json document.
+type benchReport struct {
+	Generated   string      `json:"generated"`
+	GoVersion   string      `json:"goVersion"`
+	Workloads   int         `json:"workloads"`
+	Parallel    int         `json:"parallel"`
+	TotalNs     int64       `json:"totalNs"`
+	CacheCells  int         `json:"cacheCells"`
+	CacheHits   int         `json:"cacheHits"`
+	Experiments []expReport `json:"experiments"`
+}
+
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+strings.Join(experiments.IDs(), ",")+")")
 	wlFlag := flag.String("workloads", "", "comma-separated function names (default: all 20)")
-	parFlag := flag.Int("parallel", 0, "parallel workload simulations (default: NumCPU)")
+	parFlag := flag.Int("parallel", 0, "parallel cell simulations (default: NumCPU)")
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
+	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
 	flag.Parse()
 
 	if *listFlag {
@@ -34,7 +60,9 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Parallel: *parFlag}
+	// One shared cell cache across the selected experiments: cells that
+	// recur (the nl baseline appears in five figures) are simulated once.
+	opt := experiments.Options{Parallel: *parFlag, Cache: experiments.NewCellCache()}
 	if *wlFlag != "" {
 		for _, name := range strings.Split(*wlFlag, ",") {
 			spec, err := workload.ByName(strings.TrimSpace(name))
@@ -55,14 +83,53 @@ func main() {
 		}
 	}
 
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Workloads: len(opt.Workloads),
+		Parallel:  *parFlag,
+	}
+	if report.Workloads == 0 {
+		report.Workloads = len(workload.All())
+	}
+	totalStart := time.Now()
+	var mem runtime.MemStats
 	for _, id := range ids {
+		runtime.ReadMemStats(&mem)
+		mallocs, bytes := mem.Mallocs, mem.TotalAlloc
 		start := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&mem)
 		fmt.Println(res.Render())
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, elapsed.Seconds())
+		report.Experiments = append(report.Experiments, expReport{
+			ID:          id,
+			Title:       experiments.Title(id),
+			WallClockNs: elapsed.Nanoseconds(),
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: mem.Mallocs - mallocs,
+			BytesPerOp:  mem.TotalAlloc - bytes,
+		})
+	}
+	report.TotalNs = time.Since(totalStart).Nanoseconds()
+	report.CacheCells, report.CacheHits = opt.Cache.Stats()
+
+	if *jsonFlag {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote BENCH.json (%d experiments, %d unique cells, %d cache hits)\n",
+			len(report.Experiments), report.CacheCells, report.CacheHits)
 	}
 }

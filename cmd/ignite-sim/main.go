@@ -6,6 +6,7 @@
 //	ignite-sim -fn Auth-G -config ignite
 //	ignite-sim -fn Curr-N -config boomerang+jb -mode back-to-back
 //	ignite-sim -show-config
+//	ignite-sim -all
 package main
 
 import (
@@ -25,8 +26,21 @@ func main() {
 	modeFlag := flag.String("mode", "interleaved", "inter-invocation mode: interleaved or back-to-back")
 	listFlag := flag.Bool("list", false, "list functions and configurations")
 	showCfg := flag.Bool("show-config", false, "print the simulated core parameters (Table 2)")
+	allFlag := flag.Bool("all", false, "reproduce every registered experiment through one shared cell cache")
 	flag.Parse()
 
+	if *allFlag {
+		results, err := experiments.RunAll(nil, experiments.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			fmt.Println(res.Render())
+			fmt.Println()
+		}
+		return
+	}
 	if *showCfg {
 		res, err := experiments.Run("tab2", experiments.Options{})
 		if err != nil {

@@ -78,6 +78,7 @@ type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
+	setBits  uint // log2(sets), hoisted out of the per-access tag math
 	setMask  uint64
 	lines    []line // sets*ways, set-major
 	tick     uint64
@@ -105,6 +106,7 @@ func New(cfg Config) (*Cache, error) {
 		cfg:      cfg,
 		sets:     sets,
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setBits:  uint(bits.TrailingZeros(uint(sets))),
 		setMask:  uint64(sets - 1),
 		lines:    make([]line, lines),
 	}, nil
@@ -130,14 +132,12 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr >> c.lineBits << c.lineBits
 }
 
-func (c *Cache) set(addr uint64) []line {
-	idx := (addr >> c.lineBits) & c.setMask
-	start := int(idx) * c.cfg.Ways
-	return c.lines[start : start+c.cfg.Ways]
-}
-
-func (c *Cache) tagOf(addr uint64) uint64 {
-	return addr >> c.lineBits >> uint(bits.TrailingZeros(uint(c.sets)))
+// locate splits addr into its set slice and tag with one shift of the line
+// index — the hottest few instructions in the whole simulator.
+func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+	lineIdx := addr >> c.lineBits
+	start := int(lineIdx&c.setMask) * c.cfg.Ways
+	return c.lines[start : start+c.cfg.Ways], lineIdx >> c.setBits
 }
 
 // AccessResult describes a cache lookup.
@@ -155,8 +155,7 @@ type AccessResult struct {
 // Access looks up addr. A demand access updates recency and the touched
 // bit; a non-demand access (prefetcher probe) updates neither.
 func (c *Cache) Access(addr uint64, demand bool) AccessResult {
-	set := c.set(addr)
-	tag := c.tagOf(addr)
+	set, tag := c.locate(addr)
 	if demand {
 		c.stats.Accesses.Inc()
 	}
@@ -185,8 +184,7 @@ func (c *Cache) Access(addr uint64, demand bool) AccessResult {
 
 // Contains reports whether addr is resident without disturbing any state.
 func (c *Cache) Contains(addr uint64) bool {
-	set := c.set(addr)
-	tag := c.tagOf(addr)
+	set, tag := c.locate(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			return true
@@ -206,8 +204,7 @@ type Eviction struct {
 // any). Inserting a line that is already resident refreshes recency and
 // upgrades wrong-path/prefetch provenance to demand when prov is demand.
 func (c *Cache) Insert(addr uint64, prov Provenance) (Eviction, bool) {
-	set := c.set(addr)
-	tag := c.tagOf(addr)
+	set, tag := c.locate(addr)
 	c.tick++
 	for i := range set {
 		ln := &set[i]
@@ -239,7 +236,7 @@ func (c *Cache) Insert(addr uint64, prov Provenance) (Eviction, bool) {
 	if v.valid {
 		hadEv = true
 		setIdx := (addr >> c.lineBits) & c.setMask
-		evLineIdx := v.tag<<uint(bits.TrailingZeros(uint(c.sets))) | setIdx
+		evLineIdx := v.tag<<c.setBits | setIdx
 		ev = Eviction{LineAddr: evLineIdx << c.lineBits, Prov: v.prov, Touched: v.touched}
 		c.stats.Evictions.Inc()
 		if !v.touched && v.prov != ProvDemand {

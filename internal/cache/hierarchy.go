@@ -171,7 +171,12 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 	h.stats.InstrFetches.Inc()
 
 	if res := h.L1I.Access(la, true); res.Hit {
-		if !wrongPath && h.tracker != nil {
+		// Only a first touch can change tracker state on a hit: a line
+		// that is already demand-filled or touched has had its
+		// DemandTouch delivered (wrong-path fetches never hit — the
+		// engine checks residency before issuing them), so the hottest
+		// path in the simulator skips the tracker's map lookup.
+		if res.FirstTouch && !wrongPath && h.tracker != nil {
 			h.tracker.DemandTouch(la)
 		}
 		return h.Lat.L1I, LvlL1I, res.FirstTouch

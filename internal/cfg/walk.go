@@ -27,6 +27,41 @@ type WalkOptions struct {
 	// MaxDepth bounds the call depth (default 128). Exceeding it is an
 	// error: generated programs have DAG call graphs and bounded depth.
 	MaxDepth int
+	// Scratch, when non-nil, supplies reusable walk storage (RNG and
+	// per-block execution counters) so repeated walks of the same program
+	// allocate nothing. A scratch must not be shared between concurrent
+	// walks; results are bit-identical with or without one.
+	Scratch *WalkScratch
+}
+
+// WalkScratch holds the allocation-heavy state of a walk for reuse across
+// invocations. The zero value is ready to use.
+type WalkScratch struct {
+	pcg        *rand.PCG
+	rng        *rand.Rand
+	execCounts []uint32
+}
+
+// rand reseeds (or lazily builds) the scratch RNG for a new walk.
+func (s *WalkScratch) rand(seed uint64) *rand.Rand {
+	if s.pcg == nil {
+		s.pcg = rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+		s.rng = rand.New(s.pcg)
+	} else {
+		s.pcg.Seed(seed, seed^0x9e3779b97f4a7c15)
+	}
+	return s.rng
+}
+
+// counts returns a zeroed per-block counter slice of length n.
+func (s *WalkScratch) counts(n int) []uint32 {
+	if cap(s.execCounts) < n {
+		s.execCounts = make([]uint32, n)
+	} else {
+		s.execCounts = s.execCounts[:n]
+		clear(s.execCounts)
+	}
+	return s.execCounts
 }
 
 // WalkResult summarizes a completed walk.
@@ -66,12 +101,17 @@ func (p *Program) Walk(entry int, opt WalkOptions, emit func(Step) bool) (WalkRe
 	if opt.MaxDepth <= 0 {
 		opt.MaxDepth = 128
 	}
-	w := &walker{
-		p:          p,
-		rng:        rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x9e3779b97f4a7c15)),
-		emit:       emit,
-		opt:        opt,
-		execCounts: make([]uint32, len(p.Blocks)),
+	w := walker{
+		p:    p,
+		emit: emit,
+		opt:  opt,
+	}
+	if opt.Scratch != nil {
+		w.rng = opt.Scratch.rand(opt.Seed)
+		w.execCounts = opt.Scratch.counts(len(p.Blocks))
+	} else {
+		w.rng = rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x9e3779b97f4a7c15))
+		w.execCounts = make([]uint32, len(p.Blocks))
 	}
 	w.walkFunc(entry)
 	return w.res, w.err

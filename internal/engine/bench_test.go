@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"testing"
+
+	"ignite/internal/cfg"
+)
+
+func buildBenchProgram(b *testing.B) *cfg.Program {
+	b.Helper()
+	p, _, err := cfg.Generate(cfg.GenParams{
+		Seed:           11,
+		CodeKiB:        96,
+		BranchSites:    2500,
+		MeanFuncBytes:  2048,
+		IndirectFrac:   0.3,
+		PeriodicFrac:   0.1,
+		NeverTakenFrac: 0.15,
+		HardFrac:       0.05,
+		FixedLoopFrac:  0.7,
+		MeanLoopTrips:  2.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkInvocation measures the engine's per-invocation hot path:
+// steady-state RunInvocation calls on one persistent engine, as the lukewarm
+// protocol issues them. allocs/op is the tracked regression metric.
+func BenchmarkInvocation(b *testing.B) {
+	e := New(buildBenchProgram(b), DefaultConfig())
+	// Warm the reusable buffers so b.N=1 runs measure steady state.
+	if _, err := e.RunInvocation(InvocationOptions{Seed: 1, MaxInstr: 120_000}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunInvocation(InvocationOptions{Seed: uint64(i), MaxInstr: 120_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvocationThrashed interleaves a full thrash between invocations
+// (the lukewarm regime), exercising the flush paths as well.
+func BenchmarkInvocationThrashed(b *testing.B) {
+	e := New(buildBenchProgram(b), DefaultConfig())
+	if _, err := e.RunInvocation(InvocationOptions{Seed: 1, MaxInstr: 120_000}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Thrash(uint64(i))
+		if _, err := e.RunInvocation(InvocationOptions{Seed: uint64(i), MaxInstr: 120_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

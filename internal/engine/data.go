@@ -17,6 +17,7 @@ const dataBase = 0x10_0000_0000
 // streams that the baseline stride prefetcher covers.
 type dataStream struct {
 	cfg DataConfig
+	pcg *rand.PCG
 	rng *rand.Rand
 
 	hotBytes  uint64
@@ -44,8 +45,14 @@ func (d *dataStream) init(cfg *DataConfig) {
 }
 
 // beginInvocation reseeds the stream and restarts the sequential cursors.
+// The PCG is reseeded in place so steady-state invocations allocate nothing.
 func (d *dataStream) beginInvocation(seed uint64) {
-	d.rng = rand.New(rand.NewPCG(seed^0xdada_5eed, seed+0x1234_5678))
+	if d.pcg == nil {
+		d.pcg = rand.NewPCG(seed^0xdada_5eed, seed+0x1234_5678)
+		d.rng = rand.New(d.pcg)
+	} else {
+		d.pcg.Seed(seed^0xdada_5eed, seed+0x1234_5678)
+	}
 	for i := range d.streams {
 		d.streams[i] = dataBase + d.hotBytes + uint64(i)*(d.coldBytes/uint64(len(d.streams)))
 	}

@@ -56,9 +56,22 @@ type Engine struct {
 	// charged the remaining latency and counted as a miss.
 	pendingLine map[uint64]pendingFill
 
-	// Reusable per-invocation buffers.
-	steps []cfg.Step
-	evals []stepEval
+	// Reusable per-invocation buffers. steps/evals are resized in place;
+	// emitStep is the Walk callback, built once so RunInvocation does not
+	// allocate a closure per invocation; walkScratch recycles the walker's
+	// RNG and per-block counters.
+	steps       []cfg.Step
+	stepsShared bool // steps aliases a caller-owned trace: never append/truncate
+	evals       []stepEval
+	emitStep    func(cfg.Step) bool
+	walkScratch cfg.WalkScratch
+
+	// seenPC is an epoch-stamped set of branch PCs executed during the
+	// current invocation (entry is a member iff its stamp equals seenGen),
+	// replacing a per-invocation map allocation: bumping seenGen empties
+	// the set in O(1).
+	seenPC  map[uint64]uint32
+	seenGen uint32
 
 	ras  *ras
 	data dataStream
@@ -87,6 +100,11 @@ func New(prog *cfg.Program, c Config) *Engine {
 		itlb:        tlb.MustNew(c.ITLB),
 		traffic:     traffic,
 		pendingLine: make(map[uint64]pendingFill),
+		seenPC:      make(map[uint64]uint32, 4096),
+	}
+	e.emitStep = func(s cfg.Step) bool {
+		e.steps = append(e.steps, s)
+		return true
 	}
 	e.hier.Lat = c.Lat
 	e.ras = newRAS(c.RASDepth)

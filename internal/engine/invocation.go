@@ -16,6 +16,13 @@ type InvocationOptions struct {
 	Seed uint64
 	// MaxInstr caps the invocation length (0 = run to completion).
 	MaxInstr uint64
+	// Trace optionally supplies the committed trace for this (Seed,
+	// MaxInstr) pair, exactly as Program.Walk would generate it, so callers
+	// simulating many configurations of one workload can generate each
+	// trace once and share it. The engine reads the slice without
+	// modifying it; TraceResult must carry the corresponding walk summary.
+	Trace       []cfg.Step
+	TraceResult cfg.WalkResult
 }
 
 // InvocationStats reports everything measured during one invocation.
@@ -72,14 +79,24 @@ func (s *InvocationStats) BPUMPKI() float64 { return s.BTBMPKI() + s.CBPMPKI() }
 func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) {
 	// Materialize the committed trace; the decoupled front-end needs to
 	// look ahead of commit along it.
-	e.steps = e.steps[:0]
-	res, err := e.prog.Walk(0, cfg.WalkOptions{Seed: opt.Seed, MaxInstr: opt.MaxInstr},
-		func(s cfg.Step) bool {
-			e.steps = append(e.steps, s)
-			return true
-		})
-	if err != nil {
-		return nil, fmt.Errorf("engine: trace generation: %w", err)
+	var res cfg.WalkResult
+	if opt.Trace != nil {
+		e.steps = opt.Trace
+		e.stepsShared = true
+		res = opt.TraceResult
+	} else {
+		if e.stepsShared {
+			e.steps = nil // don't clobber the shared backing array
+			e.stepsShared = false
+		}
+		e.steps = e.steps[:0]
+		var err error
+		res, err = e.prog.Walk(0,
+			cfg.WalkOptions{Seed: opt.Seed, MaxInstr: opt.MaxInstr, Scratch: &e.walkScratch},
+			e.emitStep)
+		if err != nil {
+			return nil, fmt.Errorf("engine: trace generation: %w", err)
+		}
 	}
 	n := len(e.steps)
 	if n == 0 {
@@ -105,7 +122,11 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 		Steps:     res.Steps,
 		Truncated: res.Truncated,
 	}
-	seen := make(map[uint64]struct{}, 4096)
+	e.seenGen++
+	if e.seenGen == 0 { // stamp wrapped: stale entries could alias
+		clear(e.seenPC)
+		e.seenGen = 1
+	}
 
 	lastLine := ^uint64(0)
 	lookPtr := 0    // next step the front-end lookahead will prefetch
@@ -122,8 +143,9 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 			limit := i + e.cfg.FTQDepth
 			for lookPtr < n && lookPtr <= limit {
 				j := lookPtr
-				e.prefetchBlockLines(e.steps[j].Block)
-				ev := e.evalStep(j, true)
+				bj := e.prog.Block(e.steps[j].Block)
+				e.prefetchBlockLines(bj)
+				ev := e.evalStep(j, bj, true)
 				lookPtr++
 				if !ev.follows {
 					blockedAt = j
@@ -136,7 +158,7 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 		fetchStall := e.fetchBlock(b, &lastLine, st)
 
 		// 3. Resolve the terminator against the front-end's decision.
-		penalty, bubble, resteer := e.resolveBranch(i, b, st, seen)
+		penalty, bubble, resteer := e.resolveBranch(i, b, st)
 		fetchStall += bubble
 		if resteer {
 			st.Resteers++
@@ -251,8 +273,7 @@ func (e *Engine) nextLinePrefetch(la uint64) {
 
 // prefetchBlockLines is the FDP prefetch path: the lines of an upcoming
 // block are brought into the L1-I.
-func (e *Engine) prefetchBlockLines(id cfg.BlockID) {
-	b := e.prog.Block(id)
+func (e *Engine) prefetchBlockLines(b *cfg.Block) {
 	start := b.Addr &^ (cache.LineBytesConst - 1)
 	end := b.BranchPC() &^ (cache.LineBytesConst - 1)
 	for la := start; la <= end; la += cache.LineBytesConst {
@@ -293,13 +314,12 @@ func (e *Engine) notePending(la uint64, from cache.Level) {
 // whether the predicted stream continues on the correct path. Boomerang can
 // only repair BTB misses while the lookahead is running (inLookahead); a
 // lazy commit-time evaluation after a resteer sees the raw BTB miss.
-func (e *Engine) evalStep(j int, inLookahead bool) *stepEval {
+func (e *Engine) evalStep(j int, b *cfg.Block, inLookahead bool) *stepEval {
 	ev := &e.evals[j]
 	if ev.done {
 		return ev
 	}
 	ev.done = true
-	b := e.prog.Block(e.steps[j].Block)
 	taken := e.steps[j].Taken
 	if b.Kind == cfg.BranchNone {
 		ev.follows = true
@@ -388,11 +408,12 @@ func (e *Engine) actualTarget(j int, b *cfg.Block) uint64 {
 // resteer penalties, trains the CBP, and inserts taken branches into the
 // BTB (firing Ignite's record hook). It returns the bad-speculation
 // penalty, any Boomerang fetch bubble, and whether the front end resteered.
-func (e *Engine) resolveBranch(i int, b *cfg.Block, st *InvocationStats, seen map[uint64]struct{}) (penalty, bubble float64, resteer bool) {
+func (e *Engine) resolveBranch(i int, b *cfg.Block, st *InvocationStats) (penalty, bubble float64, resteer bool) {
 	if b.Kind == cfg.BranchNone {
 		return 0, 0, false
 	}
-	ev := e.evalStep(i, false)
+	fresh := !e.evals[i].done
+	ev := e.evalStep(i, b, false)
 	taken := e.steps[i].Taken
 	pc := b.BranchPC()
 	actualTarget := e.actualTarget(i, b)
@@ -405,10 +426,17 @@ func (e *Engine) resolveBranch(i int, b *cfg.Block, st *InvocationStats, seen ma
 	switch b.Kind {
 	case cfg.BranchCond:
 		st.CondBranches++
-		_, seenBefore := seen[pc]
-		seen[pc] = struct{}{}
-		predTaken := e.cbp.Predict(pc)
-		ev.predTaken = predTaken
+		seenBefore := e.seenPC[pc] == e.seenGen
+		e.seenPC[pc] = e.seenGen
+		predTaken := ev.predTaken
+		if !fresh {
+			// The eval came from the front-end lookahead; predictor
+			// history has advanced since, so re-predict with commit-time
+			// state. A fresh commit-time eval just made this exact
+			// (read-only) Predict call, so its answer is reused as-is.
+			predTaken = e.cbp.Predict(pc)
+			ev.predTaken = predTaken
+		}
 		mispred := predTaken != taken
 		if mispred {
 			st.CondMispredicts++

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ignite/internal/cache"
+	"ignite/internal/cfg"
+	"ignite/internal/sim"
+	"ignite/internal/workload"
+)
+
+// CellCache memoizes the two deterministic, expensive artifacts of an
+// experiment run across experiments:
+//
+//   - generated programs, keyed by the full workload specification, built
+//     once per workload and shared read-only (Program.Walk carries its own
+//     PCG state, so concurrent cells may walk one program safely);
+//   - simulation cells, keyed by everything that determines a cell's
+//     outcome: the workload spec (name, generator parameters, data profile,
+//     instruction budget), the front-end configuration kind, the
+//     canonicalized tweaks, and the lukewarm mode.
+//
+// A cell is a pure function of its key — the engine seeds every RNG from the
+// spec — so the nl/interleaved baseline that fig3, fig8, fig9a, fig11 and
+// fig12 all need is simulated exactly once per RunAll instead of five times.
+// Entries are computed single-flight: a second request for an in-flight key
+// blocks until the first completes and shares its result.
+type CellCache struct {
+	mu     sync.Mutex
+	progs  map[string]*progEntry
+	cells  map[string]*cellEntry
+	traces map[string]*traceEntry
+	hits   int
+	// shareTraces feeds cells pre-generated committed traces (the walk
+	// depends only on the program and seed, never on the front-end
+	// configuration, so a workload's ~6 invocation traces are identical
+	// across every cell). Disabled only on the benchmark path that
+	// replays the pre-scheduler cost model.
+	shareTraces bool
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *cfg.Program
+	err  error
+}
+
+type cellEntry struct {
+	once sync.Once
+	c    *cell
+	err  error
+}
+
+type traceEntry struct {
+	once  sync.Once
+	steps []cfg.Step
+	res   cfg.WalkResult
+	err   error
+}
+
+// NewCellCache returns an empty cache.
+func NewCellCache() *CellCache {
+	return &CellCache{
+		progs:       make(map[string]*progEntry),
+		cells:       make(map[string]*cellEntry),
+		traces:      make(map[string]*traceEntry),
+		shareTraces: true,
+	}
+}
+
+// specKey fingerprints everything about a workload that affects simulation:
+// tests and benchmarks shrink TargetInstr on otherwise identical specs, so
+// the name alone is not a safe key.
+func specKey(spec workload.Spec) string {
+	return fmt.Sprintf("%s|%d|%+v|%+v", spec.Name, spec.TargetInstr, spec.Gen, spec.Data)
+}
+
+// tweakKey canonicalizes sim.Tweaks (dereferencing the BIM-policy pointer,
+// which would otherwise print as an address and break key equality).
+func tweakKey(tw sim.Tweaks) string {
+	bim := -1
+	if tw.BIMPolicy != nil {
+		bim = int(*tw.BIMPolicy)
+	}
+	return fmt.Sprintf("keep=%v,%v,%v|bim=%d|dbl=%v|thr=%d|meta=%d|btb=%d",
+		tw.Keep.BTB, tw.Keep.BIM, tw.Keep.TAGE, bim,
+		tw.DoubleBuffer, tw.ThrottleThreshold, tw.MetadataBytes, tw.BTBEntries)
+}
+
+func cellKey(spec workload.Spec, rc runConfig) string {
+	return fmt.Sprintf("%s|kind=%s|mode=%d|%s", specKey(spec), rc.Kind, rc.Mode, tweakKey(rc.Tweak))
+}
+
+// program returns the workload's generated program, building it at most once.
+func (cc *CellCache) program(spec workload.Spec) (*cfg.Program, error) {
+	key := specKey(spec)
+	cc.mu.Lock()
+	e, ok := cc.progs[key]
+	if !ok {
+		e = &progEntry{}
+		cc.progs[key] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.prog, _, e.err = spec.Build() })
+	return e.prog, e.err
+}
+
+// cell returns the simulated (workload, config) cell, computing it at most
+// once per unique key.
+func (cc *CellCache) cell(spec workload.Spec, rc runConfig) (*cell, error) {
+	key := cellKey(spec, rc)
+	cc.mu.Lock()
+	e, ok := cc.cells[key]
+	if !ok {
+		e = &cellEntry{}
+		cc.cells[key] = e
+	} else {
+		cc.hits++
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc) })
+	return e.c, e.err
+}
+
+// trace returns the committed trace for (workload, seed, budget), walking
+// the program at most once per key. Entries live for the cache's lifetime:
+// a full-scale all-figures run holds roughly six traces per workload.
+func (cc *CellCache) trace(prog *cfg.Program, specK string, seed, maxInstr uint64) ([]cfg.Step, cfg.WalkResult, error) {
+	key := fmt.Sprintf("%s|seed=%d|max=%d", specK, seed, maxInstr)
+	cc.mu.Lock()
+	e, ok := cc.traces[key]
+	if !ok {
+		e = &traceEntry{}
+		cc.traces[key] = e
+	}
+	cc.mu.Unlock()
+	e.once.Do(func() {
+		steps := make([]cfg.Step, 0, 4096)
+		e.res, e.err = prog.Walk(0, cfg.WalkOptions{Seed: seed, MaxInstr: maxInstr},
+			func(s cfg.Step) bool { steps = append(steps, s); return true })
+		e.steps = steps
+	})
+	return e.steps, e.res, e.err
+}
+
+func (cc *CellCache) compute(spec workload.Spec, rc runConfig) (*cell, error) {
+	prog, err := cc.program(spec)
+	if err != nil {
+		return nil, err
+	}
+	setup, err := sim.NewWithProgram(spec, prog, rc.Kind, rc.Tweak)
+	if err != nil {
+		return nil, err
+	}
+	if cc.shareTraces {
+		specK := specKey(spec)
+		setup.TraceProvider = func(seed, maxInstr uint64) ([]cfg.Step, cfg.WalkResult, error) {
+			return cc.trace(prog, specK, seed, maxInstr)
+		}
+	}
+	res, err := setup.Run(rc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	// Capture the engine-side accuracy numbers as plain values so cached
+	// cells do not pin whole engines (caches, BTB, TAGE tables) in memory
+	// for the lifetime of a cross-experiment cache.
+	c := &cell{Res: res}
+	c.IgniteInserts, c.IgniteUseful = setup.Eng.Traffic().SourceAccuracy(cache.SrcIgnite)
+	bs := setup.Eng.BTB().Stats()
+	c.BTBRestored = bs.RestoredInserts.Value()
+	c.BTBRestoredUU = bs.RestoredEvictedUU.Value()
+	return c, nil
+}
+
+// Stats reports the number of distinct cells simulated and how many cell
+// requests were served from the cache.
+func (cc *CellCache) Stats() (cells, hits int) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.cells), cc.hits
+}

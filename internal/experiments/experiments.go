@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"ignite/internal/engine"
@@ -21,8 +22,21 @@ import (
 type Options struct {
 	// Workloads selects the functions to run (default: all 20).
 	Workloads []workload.Spec
-	// Parallel bounds concurrent workload simulations (default NumCPU).
+	// Parallel bounds concurrent cell simulations (default NumCPU). Cells
+	// are (workload, config) pairs, so a run exposes up to
+	// len(Workloads)×len(configs)-way parallelism.
 	Parallel int
+	// Cache, when set, memoizes simulation cells so experiments sharing
+	// cells (the nl baseline appears in five figures) compute each unique
+	// cell exactly once. RunAll installs a shared cache automatically;
+	// nil keeps reuse local to a single experiment. Results are
+	// bit-identical with or without a cache.
+	Cache *CellCache
+	// SerialConfigs restores the pre-scheduler execution shape — one
+	// goroutine per workload running its configurations serially — and is
+	// kept only so benchmarks can measure the old path (see
+	// BenchmarkRunAllSerialNoCache). Leave false.
+	SerialConfigs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +151,41 @@ func Run(id string, opt Options) (*Result, error) {
 	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 }
 
+// PaperIDs returns the paper's table/figure experiments (excluding the
+// ablation studies) in presentation order.
+func PaperIDs() []string {
+	var ids []string
+	for _, e := range registry {
+		if strings.HasPrefix(e.ID, "tab") || strings.HasPrefix(e.ID, "fig") {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// RunAll executes the given experiments (nil = every registered experiment)
+// with one shared cell cache, so cells duplicated across figures — the
+// nl/interleaved baseline alone is needed by fig3, fig8, fig9a, fig11 and
+// fig12, and fig9a repeats four of fig8's configurations — are simulated
+// exactly once for the whole reproduction run.
+func RunAll(ids []string, opt Options) ([]*Result, error) {
+	if ids == nil {
+		ids = IDs()
+	}
+	if opt.Cache == nil {
+		opt.Cache = NewCellCache()
+	}
+	results := make([]*Result, 0, len(ids))
+	for _, id := range ids {
+		r, err := Run(id, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
 // runConfig holds one named simulation cell.
 type runConfig struct {
 	Name  string
@@ -145,65 +194,81 @@ type runConfig struct {
 	Mode  lukewarm.Mode
 }
 
-// cell is the outcome of one (workload, config) simulation.
+// cell is the outcome of one (workload, config) simulation. The engine-side
+// restore-accuracy numbers (Figure 9c) are captured eagerly as plain values
+// rather than by retaining the *sim.Setup, so a cross-experiment cache of
+// cells stays small instead of pinning one full engine per unique cell.
 type cell struct {
-	Res   *lukewarm.Result
-	Setup *sim.Setup
+	Res *lukewarm.Result
+	// Ignite restore accuracy: L2 lines inserted by the restore and how
+	// many of those were later demand-used.
+	IgniteInserts, IgniteUseful uint64
+	// BTB restore accuracy: restored entries and those evicted untouched.
+	BTBRestored, BTBRestoredUU uint64
 }
 
-// runMatrix simulates every workload under every configuration, reusing one
-// generated program per workload, with workloads in parallel.
+// runMatrix simulates every workload under every configuration by
+// submitting each (workload, config) cell independently to a bounded worker
+// pool. The generated program is built once per workload (through the cell
+// cache's program memo) and shared read-only across that workload's cells.
+// Cell failures are aggregated with errors.Join, and the first failure
+// cancels cells that have not started yet.
 func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, error) {
 	opt = opt.withDefaults()
+	cache := opt.Cache
+	if cache == nil {
+		// Private per-matrix cache: no cross-experiment reuse, but still
+		// one program build per workload. The serial benchmark path
+		// replays the pre-scheduler cost model, which regenerated every
+		// invocation trace, so trace sharing stays off there.
+		cache = NewCellCache()
+		cache.shareTraces = !opt.SerialConfigs
+	}
 	out := make(map[string]map[string]*cell, len(opt.Workloads))
 	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, opt.Parallel)
-	var wg sync.WaitGroup
-
-	for _, spec := range opt.Workloads {
-		spec := spec
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			prog, _, err := spec.Build()
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-			row := make(map[string]*cell, len(configs))
-			for _, rc := range configs {
-				setup, err := sim.NewWithProgram(spec, prog, rc.Kind, rc.Tweak)
-				if err == nil {
-					var res *lukewarm.Result
-					res, err = setup.Run(rc.Mode)
-					if err == nil {
-						row[rc.Name] = &cell{Res: res, Setup: setup}
-					}
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
-					}
-					mu.Unlock()
-					return
-				}
-			}
-			mu.Lock()
-			out[spec.Name] = row
-			mu.Unlock()
-		}()
+	store := func(wl, cfgName string, c *cell) {
+		mu.Lock()
+		row := out[wl]
+		if row == nil {
+			row = make(map[string]*cell, len(configs))
+			out[wl] = row
+		}
+		row[cfgName] = c
+		mu.Unlock()
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	sched := newScheduler(opt.Parallel)
+	if opt.SerialConfigs {
+		for _, spec := range opt.Workloads {
+			spec := spec
+			sched.submit(func() error {
+				for _, rc := range configs {
+					c, err := cache.cell(spec, rc)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+					}
+					store(spec.Name, rc.Name, c)
+				}
+				return nil
+			})
+		}
+	} else {
+		for _, spec := range opt.Workloads {
+			for _, rc := range configs {
+				spec, rc := spec, rc
+				sched.submit(func() error {
+					c, err := cache.cell(spec, rc)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+					}
+					store(spec.Name, rc.Name, c)
+					return nil
+				})
+			}
+		}
+	}
+	if err := sched.wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -272,21 +337,43 @@ func Table2(opt Options) (*Result, error) {
 	return r, nil
 }
 
-// Fig2 measures per-invocation instruction and branch working sets.
+// Fig2 measures per-invocation instruction and branch working sets, one
+// scheduler cell per workload (program builds are shared through the cache).
 func Fig2(opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCellCache()
+	}
+	sets := make(map[string]workload.WorkingSet, len(opt.Workloads))
+	var mu sync.Mutex
+	sched := newScheduler(opt.Parallel)
+	for _, s := range opt.Workloads {
+		s := s
+		sched.submit(func() error {
+			prog, err := cache.program(s)
+			if err != nil {
+				return err
+			}
+			ws, err := workload.MeasureWorkingSet(prog, 42, s.MaxInstr())
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name, err)
+			}
+			mu.Lock()
+			sets[s.Name] = ws
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := sched.wait(); err != nil {
+		return nil, err
+	}
+
 	r := &Result{ID: "fig2", Title: Title("fig2")}
 	t := stats.NewTable(r.Title, "function", "instr WS (KiB)", "branch WS (BTB entries)", "dyn instrs")
 	var kibs, ents []float64
 	for _, s := range opt.Workloads {
-		prog, _, err := s.Build()
-		if err != nil {
-			return nil, err
-		}
-		ws, err := workload.MeasureWorkingSet(prog, 42, s.MaxInstr())
-		if err != nil {
-			return nil, err
-		}
+		ws := sets[s.Name]
 		kib := float64(ws.InstrBytes) / 1024
 		t.AddRowf(s.Name, kib, ws.BTBEntries, ws.DynInstr)
 		r.set(s.Name, "instrKiB", kib)

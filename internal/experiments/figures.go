@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"ignite/internal/cache"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/sim"
@@ -157,16 +156,13 @@ func Fig9c(opt Options) (*Result, error) {
 	var l2s, btbs, cbps []float64
 	for _, name := range orderedNames(opt, m) {
 		c := m[name]["ignite"]
-		ins, useful := c.Setup.Eng.Traffic().SourceAccuracy(cache.SrcIgnite)
 		l2Over := 0.0
-		if ins > 0 {
-			l2Over = float64(ins-useful) / float64(ins) * 100
+		if c.IgniteInserts > 0 {
+			l2Over = float64(c.IgniteInserts-c.IgniteUseful) / float64(c.IgniteInserts) * 100
 		}
-		bs := c.Setup.Eng.BTB().Stats()
-		restored := bs.RestoredInserts.Value()
 		btbOver := 0.0
-		if restored > 0 {
-			btbOver = float64(bs.RestoredEvictedUU.Value()) / float64(restored) * 100
+		if c.BTBRestored > 0 {
+			btbOver = float64(c.BTBRestoredUU) / float64(c.BTBRestored) * 100
 		}
 		res := c.Res
 		induced := 0.0

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+)
+
+// scheduler is a bounded worker pool for independent simulation cells. Each
+// submitted cell runs in its own goroutine gated by a semaphore, so the
+// parallelism axis is the cell — (workload, config) pair — rather than the
+// workload: a matrix of W workloads × C configs exposes W×C-way parallelism
+// instead of W-way with configs serialized inside each workload.
+//
+// Failures are aggregated rather than first-wins: wait returns every cell
+// error joined. After the first failure the scheduler cancels — cells that
+// have not started yet are skipped, so a doomed run stops burning CPU.
+type scheduler struct {
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	errs     []error
+	canceled bool
+}
+
+func newScheduler(parallel int) *scheduler {
+	if parallel < 1 {
+		parallel = 1
+	}
+	return &scheduler{sem: make(chan struct{}, parallel)}
+}
+
+// submit queues one cell. fn runs once a worker slot frees up, unless the
+// run was canceled by an earlier failure first.
+func (s *scheduler) submit(fn func() error) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.mu.Lock()
+		dead := s.canceled
+		s.mu.Unlock()
+		if dead {
+			return
+		}
+		if err := fn(); err != nil {
+			s.mu.Lock()
+			s.errs = append(s.errs, err)
+			s.canceled = true
+			s.mu.Unlock()
+		}
+	}()
+}
+
+// wait blocks until every submitted cell has finished or been skipped and
+// returns the joined failures (nil when all cells succeeded).
+func (s *scheduler) wait() error {
+	s.wg.Wait()
+	return errors.Join(s.errs...)
+}

@@ -11,6 +11,7 @@ package lukewarm
 import (
 	"fmt"
 
+	"ignite/internal/cfg"
 	"ignite/internal/engine"
 	"ignite/internal/memsys"
 	"ignite/internal/stats"
@@ -42,6 +43,12 @@ type Preserve struct {
 	TAGE bool
 }
 
+// TraceProvider supplies the committed trace for an invocation seed,
+// exactly as Program.Walk would generate it (the walk depends only on the
+// program and seed, not on the front-end configuration), so protocol runs
+// that share a workload across configurations can generate each trace once.
+type TraceProvider func(seed, maxInstr uint64) ([]cfg.Step, cfg.WalkResult, error)
+
 // Mechanism is a record/replay restoration mechanism (Ignite, Jukebox,
 // Confluence) driven by the protocol.
 type Mechanism interface {
@@ -68,6 +75,9 @@ type Options struct {
 	// SeedBase differentiates invocations; each invocation uses
 	// SeedBase+i so traces share structure but differ in detail.
 	SeedBase uint64
+	// Traces, when non-nil, supplies pre-generated committed traces;
+	// results are bit-identical with or without it.
+	Traces TraceProvider
 }
 
 func (o Options) withDefaults() Options {
@@ -202,7 +212,15 @@ func Run(eng *engine.Engine, opt Options) (*Result, error) {
 	}
 
 	run := func() (*engine.InvocationStats, error) {
-		st, err := eng.RunInvocation(engine.InvocationOptions{Seed: seed, MaxInstr: opt.MaxInstr})
+		io := engine.InvocationOptions{Seed: seed, MaxInstr: opt.MaxInstr}
+		if opt.Traces != nil {
+			tr, wres, err := opt.Traces(seed, opt.MaxInstr)
+			if err != nil {
+				return nil, fmt.Errorf("lukewarm: trace for seed %d: %w", seed, err)
+			}
+			io.Trace, io.TraceResult = tr, wres
+		}
+		st, err := eng.RunInvocation(io)
 		seed++
 		return st, err
 	}

@@ -87,6 +87,10 @@ type Setup struct {
 	Ignite     *ignite.Ignite
 	Jukebox    *prefetch.Jukebox
 	Confluence *prefetch.Confluence
+
+	// TraceProvider, when set, supplies shared pre-generated invocation
+	// traces to the protocol (see lukewarm.TraceProvider).
+	TraceProvider lukewarm.TraceProvider
 }
 
 // New builds the setup for a workload under the named configuration.
@@ -199,5 +203,6 @@ func (s *Setup) Run(mode lukewarm.Mode) (*lukewarm.Result, error) {
 		Keep:       s.Keep,
 		Mechanisms: s.Mechanisms,
 		SeedBase:   s.Spec.Gen.Seed * 1000,
+		Traces:     s.TraceProvider,
 	})
 }

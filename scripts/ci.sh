@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, vet, and run the full test suite under the race
+# detector. The cell scheduler runs (workload, config) simulations on a
+# bounded worker pool, so every test that goes through internal/experiments
+# exercises the concurrent path; -race keeps that path honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
