@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -28,12 +29,12 @@ func benchOpts(b *testing.B) experiments.Options {
 	return experiments.Options{Workloads: specs, Parallel: 2}
 }
 
-func runExperiment(b *testing.B, id string, metrics func(*experiments.Result, *testing.B)) {
+func runExperiment(b *testing.B, id experiments.ID, metrics func(*experiments.Result, *testing.B)) {
 	b.Helper()
 	opt := benchOpts(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Run(id, opt)
+		res, err := experiments.Run(context.Background(), id, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +47,8 @@ func runExperiment(b *testing.B, id string, metrics func(*experiments.Result, *t
 // BenchmarkRunAll times the complete all-figures reproduction (the 15 paper
 // tables/figures) on the bench subset through the cell scheduler with a
 // shared cell cache — the path cmd/ignite-bench -exp all takes. Compare
-// against BenchmarkRunAllSerialNoCache for the pre-scheduler baseline.
+// against BenchmarkRunAllSerialNoCache (in internal/experiments) for the
+// pre-scheduler baseline.
 func BenchmarkRunAll(b *testing.B) {
 	opt := benchOpts(b)
 	opt.Parallel = runtime.NumCPU()
@@ -55,24 +57,8 @@ func BenchmarkRunAll(b *testing.B) {
 		// A fresh cache per iteration: reuse happens within one
 		// all-figures run, never across benchmark iterations.
 		opt.Cache = experiments.NewCellCache()
-		if _, err := experiments.RunAll(experiments.PaperIDs(), opt); err != nil {
+		if _, err := experiments.RunAll(context.Background(), experiments.PaperIDs(), opt); err != nil {
 			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkRunAllSerialNoCache replays the pre-scheduler execution shape:
-// parallelism only across workloads, configurations serial inside each
-// workload, and no cell sharing between experiments.
-func BenchmarkRunAllSerialNoCache(b *testing.B) {
-	opt := benchOpts(b)
-	opt.SerialConfigs = true
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, id := range experiments.PaperIDs() {
-			if _, err := experiments.Run(id, opt); err != nil {
-				b.Fatal(err)
-			}
 		}
 	}
 }

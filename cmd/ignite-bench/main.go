@@ -6,18 +6,27 @@
 //	ignite-bench -exp fig8,fig9a         # selected experiments
 //	ignite-bench -exp fig3 -workloads Auth-G,Curr-N -parallel 4
 //	ignite-bench -exp all -json          # also write BENCH.json
+//	ignite-bench -exp fig1 -out results/ # versioned JSON document per experiment
+//	ignite-bench -exp all -progress      # narrate cell completions + ETA
+//
+// Ctrl-C cancels cleanly: in-flight simulation cells drain, unstarted ones
+// are skipped, and the command exits non-zero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"ignite/internal/experiments"
+	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
 
@@ -43,13 +52,30 @@ type benchReport struct {
 	Experiments []expReport `json:"experiments"`
 }
 
+func idList() string {
+	var b strings.Builder
+	for i, id := range experiments.IDs() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(id))
+	}
+	return b.String()
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+strings.Join(experiments.IDs(), ",")+")")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+idList()+")")
 	wlFlag := flag.String("workloads", "", "comma-separated function names (default: all 20)")
 	parFlag := flag.Int("parallel", 0, "parallel cell simulations (default: NumCPU)")
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
 	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
+	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
+	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
+	tiFlag := flag.Uint64("target-instr", 0, "override per-invocation instruction budget (0 = each workload's own; CI smoke runs use a small value)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *listFlag {
 		fmt.Println("experiments:")
@@ -73,13 +99,31 @@ func main() {
 			opt.Workloads = append(opt.Workloads, spec)
 		}
 	}
+	if *tiFlag > 0 {
+		if len(opt.Workloads) == 0 {
+			opt.Workloads = workload.All()
+		}
+		for i := range opt.Workloads {
+			opt.Workloads[i].TargetInstr = *tiFlag
+		}
+	}
+	var reporter *obs.ProgressReporter
+	if *progFlag {
+		reporter = obs.NewProgressReporter(os.Stderr)
+		opt.Tracer = reporter
+	}
 
-	var ids []string
+	var ids []experiments.ID
 	if *expFlag == "all" {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+		for _, raw := range strings.Split(*expFlag, ",") {
+			id := experiments.ID(strings.TrimSpace(raw))
+			if _, ok := experiments.Lookup(id); !ok {
+				fmt.Fprintln(os.Stderr, &experiments.UnknownIDError{ID: id, Valid: experiments.IDs()})
+				os.Exit(2)
+			}
+			ids = append(ids, id)
 		}
 	}
 
@@ -94,11 +138,12 @@ func main() {
 	}
 	totalStart := time.Now()
 	var mem runtime.MemStats
+	var results []*experiments.Result
 	for _, id := range ids {
 		runtime.ReadMemStats(&mem)
 		mallocs, bytes := mem.Mallocs, mem.TotalAlloc
 		start := time.Now()
-		res, err := experiments.Run(id, opt)
+		res, err := experiments.Run(ctx, id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -107,8 +152,9 @@ func main() {
 		runtime.ReadMemStats(&mem)
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, elapsed.Seconds())
+		results = append(results, res)
 		report.Experiments = append(report.Experiments, expReport{
-			ID:          id,
+			ID:          string(id),
 			Title:       experiments.Title(id),
 			WallClockNs: elapsed.Nanoseconds(),
 			NsPerOp:     elapsed.Nanoseconds(),
@@ -118,6 +164,23 @@ func main() {
 	}
 	report.TotalNs = time.Since(totalStart).Nanoseconds()
 	report.CacheCells, report.CacheHits = opt.Cache.Stats()
+	if reporter != nil {
+		cells, hits := reporter.Summary()
+		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits)\n", cells, hits)
+	}
+
+	if *outFlag != "" {
+		man := opt.Manifest()
+		man.Generated = report.Generated
+		for _, res := range results {
+			path, err := res.Document(man).WriteFile(*outFlag, string(res.ID))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
 
 	if *jsonFlag {
 		data, err := json.MarshalIndent(report, "", "  ")

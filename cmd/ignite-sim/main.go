@@ -1,21 +1,31 @@
 // Command ignite-sim runs a single (function, configuration) simulation
-// under the lukewarm protocol and prints detailed statistics.
+// under the lukewarm protocol and prints detailed statistics, or reproduces
+// the full experiment suite.
 //
 // Usage:
 //
 //	ignite-sim -fn Auth-G -config ignite
 //	ignite-sim -fn Curr-N -config boomerang+jb -mode back-to-back
 //	ignite-sim -show-config
-//	ignite-sim -all
+//	ignite-sim -all -out results/           # machine-readable JSON per experiment
+//	ignite-sim -all -progress               # narrate cell completions + ETA
+//
+// Ctrl-C cancels cleanly: in-flight simulation cells drain, unstarted ones
+// are skipped, and the command exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ignite/internal/experiments"
 	"ignite/internal/lukewarm"
+	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/workload"
 )
@@ -27,30 +37,23 @@ func main() {
 	listFlag := flag.Bool("list", false, "list functions and configurations")
 	showCfg := flag.Bool("show-config", false, "print the simulated core parameters (Table 2)")
 	allFlag := flag.Bool("all", false, "reproduce every registered experiment through one shared cell cache")
+	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
+	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
 	flag.Parse()
 
-	if *allFlag {
-		results, err := experiments.RunAll(nil, experiments.Options{})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *allFlag:
+		runAll(ctx, *outFlag, *progFlag)
+	case *showCfg:
+		res, err := experiments.Run(ctx, "tab2", experiments.Options{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		for _, res := range results {
-			fmt.Println(res.Render())
-			fmt.Println()
-		}
-		return
-	}
-	if *showCfg {
-		res, err := experiments.Run("tab2", experiments.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(res.Render())
-		return
-	}
-	if *listFlag {
+	case *listFlag:
 		fmt.Println("functions:")
 		for _, s := range workload.All() {
 			fmt.Printf("  %-8s %-36s %s\n", s.Name, s.FullName, s.Lang)
@@ -59,32 +62,68 @@ func main() {
 		for _, k := range sim.Kinds() {
 			fmt.Printf("  %s\n", k)
 		}
-		return
+	default:
+		runOne(*fnFlag, *cfgFlag, *modeFlag, *outFlag)
 	}
+}
 
-	spec, err := workload.ByName(*fnFlag)
+// runAll reproduces every experiment, optionally exporting one versioned
+// JSON document per experiment into dir.
+func runAll(ctx context.Context, dir string, progress bool) {
+	opt := experiments.Options{Cache: experiments.NewCellCache()}
+	var reporter *obs.ProgressReporter
+	if progress {
+		reporter = obs.NewProgressReporter(os.Stderr)
+		opt.Tracer = reporter
+	}
+	results, err := experiments.RunAll(ctx, nil, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
+	}
+	for _, res := range results {
+		fmt.Println(res.Render())
+		fmt.Println()
+	}
+	if reporter != nil {
+		cells, hits := reporter.Summary()
+		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits)\n", cells, hits)
+	}
+	if dir != "" {
+		man := opt.Manifest()
+		man.Generated = time.Now().UTC().Format(time.RFC3339)
+		for _, res := range results {
+			path, err := res.Document(man).WriteFile(dir, string(res.ID))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+// runOne simulates a single (function, configuration) cell and prints its
+// statistics; with -out it also exports the cell's full metric snapshot.
+func runOne(fn, cfgName, modeName, dir string) {
+	spec, err := workload.ByName(fn)
+	if err != nil {
+		fatalCode(2, err)
 	}
 	mode := lukewarm.Interleaved
-	if *modeFlag == "back-to-back" || *modeFlag == "b2b" {
+	if modeName == "back-to-back" || modeName == "b2b" {
 		mode = lukewarm.BackToBack
 	}
 
-	setup, err := sim.New(spec, sim.Kind(*cfgFlag), sim.Tweaks{})
+	setup, err := sim.New(spec, sim.Kind(cfgName))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatalCode(2, err)
 	}
 	res, err := setup.Run(mode)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	st := res.CPIStack()
-	fmt.Printf("%s / %s / %s\n", spec.Name, *cfgFlag, mode)
+	fmt.Printf("%s / %s / %s\n", spec.Name, cfgName, mode)
 	fmt.Printf("  instructions   %d (over %d measured invocations)\n", res.Instrs(), len(res.PerInvocation))
 	fmt.Printf("  CPI            %.3f\n", res.CPI())
 	fmt.Printf("    retiring     %.3f\n", st.Retiring)
@@ -102,4 +141,39 @@ func main() {
 		fmt.Printf("  ignite         %v, %d records, %d B metadata\n",
 			setup.Ignite.Regs().ReplayEnable, setup.Ignite.Recorder().Records(), setup.Ignite.MetadataUsed())
 	}
+
+	if dir != "" {
+		reg := obs.NewRegistry()
+		setup.RegisterMetrics(reg)
+		res.RegisterMetrics(reg, nil)
+		doc := obs.Document{
+			SchemaVersion: obs.SchemaVersion,
+			Kind:          obs.DocumentKind,
+			ID:            fmt.Sprintf("run-%s-%s", spec.Name, cfgName),
+			Title:         fmt.Sprintf("Single run: %s under %s (%s)", spec.Name, cfgName, mode),
+			Cells: []obs.CellMetrics{{
+				Workload: spec.Name,
+				Config:   cfgName,
+				Metrics:  reg.Snapshot().Values(),
+			}},
+			Manifest: obs.Manifest{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Parallel:  1,
+				Workloads: []obs.WorkloadManifest{{
+					Name: spec.Name, Seed: spec.Gen.Seed, TargetInstr: spec.TargetInstr,
+				}},
+			},
+		}
+		path, err := doc.WriteFile(dir, doc.ID)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func fatal(err error) { fatalCode(1, err) }
+func fatalCode(code int, err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(code)
 }

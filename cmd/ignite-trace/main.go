@@ -6,6 +6,7 @@
 //
 //	ignite-trace -fn Auth-G -n 20        # first 20 records
 //	ignite-trace -fn AES-P -summary      # stream statistics only
+//	ignite-trace -fn Auth-G -events      # engine events as JSON lines on stderr
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"ignite/internal/engine"
 	"ignite/internal/ignite"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
 
@@ -25,6 +27,7 @@ func main() {
 	nFlag := flag.Int("n", 32, "records to dump (0 = none)")
 	seedFlag := flag.Uint64("seed", 1, "invocation seed")
 	summary := flag.Bool("summary", false, "print stream statistics only")
+	events := flag.Bool("events", false, "stream engine trace events as JSON lines on stderr")
 	flag.Parse()
 
 	spec, err := workload.ByName(*fnFlag)
@@ -39,6 +42,9 @@ func main() {
 	}
 
 	eng := engine.New(prog, engine.DefaultConfig())
+	if *events {
+		eng.SetTracer(obs.NewWriterTracer(os.Stderr))
+	}
 	codec := ignite.DefaultCodecConfig()
 	region := memsys.NewRegion(0x7f00_0000_0000, ignite.MaxMetadataBytes)
 	rec := ignite.NewRecorder(codec, region, nil)

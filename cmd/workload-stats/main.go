@@ -7,17 +7,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"ignite/internal/obs"
 	"ignite/internal/stats"
 	"ignite/internal/workload"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 42, "invocation seed for working-set measurement")
+	outFlag := flag.String("out", "", "directory for a machine-readable JSON document of the characterization")
 	flag.Parse()
 
 	t := stats.NewTable("Workload characterization",
 		"function", "runtime", "static KiB", "funcs", "instr WS KiB", "branch WS", "dyn instrs", "dyn branches")
+	doc := obs.Document{
+		ID:    "workload-characterization",
+		Title: t.Title(),
+		Manifest: obs.Manifest{
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Parallel:  1,
+		},
+	}
 	for _, s := range workload.All() {
 		prog, rep, err := s.Build()
 		if err != nil {
@@ -31,6 +42,31 @@ func main() {
 		}
 		t.AddRowf(s.Name, s.Lang.String(), rep.CodeBytes/1024, rep.NumFuncs,
 			float64(ws.InstrBytes)/1024, ws.BTBEntries, ws.DynInstr, ws.DynBranches)
+		doc.Manifest.Workloads = append(doc.Manifest.Workloads, obs.WorkloadManifest{
+			Name: s.Name, Seed: s.Gen.Seed, TargetInstr: s.TargetInstr,
+		})
+		doc.Cells = append(doc.Cells, obs.CellMetrics{
+			Workload: s.Name,
+			Config:   "characterization",
+			Metrics: map[string]float64{
+				"workload.static_bytes{component=workload}":   float64(rep.CodeBytes),
+				"workload.funcs{component=workload}":          float64(rep.NumFuncs),
+				"workload.instr_ws_bytes{component=workload}": float64(ws.InstrBytes),
+				"workload.btb_entries{component=workload}":    float64(ws.BTBEntries),
+				"workload.dyn_instrs{component=workload}":     float64(ws.DynInstr),
+				"workload.dyn_branches{component=workload}":   float64(ws.DynBranches),
+			},
+		})
 	}
 	fmt.Println(t.String())
+
+	if *outFlag != "" {
+		doc.Tables = []obs.TableDoc{{Title: t.Title(), Header: t.Header(), Rows: t.Rows()}}
+		path, err := doc.WriteFile(*outFlag, doc.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 }

@@ -30,7 +30,7 @@ func main() {
 	fmt.Printf("%s (%s): %s\n\n", spec.Name, spec.Lang, spec.FullName)
 	var cpis [2]float64
 	for i, mode := range []lukewarm.Mode{lukewarm.BackToBack, lukewarm.Interleaved} {
-		setup, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{})
+		setup, err := sim.NewWithProgram(spec, prog, sim.KindNL)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,7 +32,7 @@ func main() {
 		"config", "CPI", "speedup", "L1I MPKI", "BTB MPKI", "CBP MPKI", "off-chip MPKI")
 	var nlCPI float64
 	for _, kind := range sim.Kinds() {
-		setup, err := sim.NewWithProgram(spec, prog, kind, sim.Tweaks{})
+		setup, err := sim.NewWithProgram(spec, prog, kind)
 		if err != nil {
 			log.Fatal(err)
 		}

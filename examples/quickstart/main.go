@@ -2,6 +2,10 @@
 // thrash the microarchitectural state (as thousands of interleaved
 // invocations would), replay on the next invocation, and watch the
 // front-end miss rates collapse.
+//
+// The replay itself is observed through the obs tracing hooks: an inline
+// Tracer prints when Ignite starts streaming metadata and how many records
+// it restored.
 package main
 
 import (
@@ -11,8 +15,23 @@ import (
 	"ignite/internal/engine"
 	"ignite/internal/ignite"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
+
+// replayNarrator prints Ignite's replay activity. Embedding obs.BaseTracer
+// keeps the unused hooks no-ops.
+type replayNarrator struct{ obs.BaseTracer }
+
+func (replayNarrator) ReplayStart(e obs.ReplayStartEvent) {
+	fmt.Printf("%-28s %s streaming %d B of metadata (cycle %d)\n",
+		"  -> replay start", e.Mechanism, e.Bytes, e.Now)
+}
+
+func (replayNarrator) ReplayEnd(e obs.ReplayEndEvent) {
+	fmt.Printf("%-28s %s restored %d records (cycle %d)\n",
+		"  -> replay end", e.Mechanism, e.Restored, e.Now)
+}
 
 func main() {
 	// 1. Build a synthetic serverless function (Auth-G: the Go
@@ -27,10 +46,12 @@ func main() {
 	}
 
 	// 2. Build the simulated core (Table 2 configuration, FDP enabled)
-	//    and install Ignite for this function's container.
+	//    and install Ignite for this function's container. The tracer is
+	//    optional: without one the hot path pays nothing.
 	cfg := engine.DefaultConfig()
 	cfg.FDPEnabled = true
 	eng := engine.New(prog, cfg)
+	eng.SetTracer(replayNarrator{})
 	store := memsys.NewStore()
 	ig := ignite.New(ignite.DefaultConfig(), eng, store, "quickstart")
 	ig.Install()
@@ -63,4 +84,15 @@ func main() {
 	//    are restored and the instruction working set streams into L2.
 	eng.Thrash(3)
 	run("lukewarm, Ignite replay", 3)
+
+	// 6. Every counter the run touched is also available through the
+	//    typed metrics registry — the same snapshot the CLIs export as
+	//    versioned JSON documents (ignite-bench -out / ignite-sim -out).
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg, nil)
+	ig.RegisterMetrics(reg, nil)
+	snap := reg.Snapshot().Values()
+	fmt.Printf("\nregistry: %d metrics; ignite.restored=%.0f btb.restored_inserts=%.0f\n",
+		len(snap), snap["ignite.restored{component=ignite}"],
+		snap["btb.restored_inserts{component=btb}"])
 }

@@ -6,8 +6,8 @@ import (
 	"ignite/internal/cfg"
 )
 
-func buildBenchProgram(b *testing.B) *cfg.Program {
-	b.Helper()
+func buildBenchProgram(tb testing.TB) *cfg.Program {
+	tb.Helper()
 	p, _, err := cfg.Generate(cfg.GenParams{
 		Seed:           11,
 		CodeKiB:        96,
@@ -21,7 +21,7 @@ func buildBenchProgram(b *testing.B) *cfg.Program {
 		MeanLoopTrips:  2.2,
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return p
 }

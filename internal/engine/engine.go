@@ -6,6 +6,7 @@ import (
 	"ignite/internal/cache"
 	"ignite/internal/cfg"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 	"ignite/internal/tlb"
 )
 
@@ -40,6 +41,11 @@ type Engine struct {
 	traffic *memsys.Traffic
 
 	companions []Companion
+
+	// tracer receives invocation/replay lifecycle events. nil (the
+	// default) keeps the hot path free of both the virtual call and the
+	// event construction — see the nil checks at every emission site.
+	tracer obs.Tracer
 
 	// now is the absolute cycle clock, monotonic across invocations;
 	// nowf carries the fractional part. fetchClock tracks front-end time
@@ -135,6 +141,13 @@ func (e *Engine) Traffic() *memsys.Traffic { return e.traffic }
 
 // Now returns the absolute cycle clock.
 func (e *Engine) Now() uint64 { return e.now }
+
+// SetTracer installs an event tracer (nil disables tracing). Companions
+// read it through Tracer to emit their own lifecycle events.
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (e *Engine) Tracer() obs.Tracer { return e.tracer }
 
 // AddCompanion attaches a companion prefetcher/restorer.
 func (e *Engine) AddCompanion(c Companion) {

@@ -6,6 +6,7 @@ import (
 	"ignite/internal/btb"
 	"ignite/internal/cache"
 	"ignite/internal/cfg"
+	"ignite/internal/obs"
 	"ignite/internal/stats"
 )
 
@@ -117,6 +118,10 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 		c.BeginInvocation()
 	}
 
+	if e.tracer != nil {
+		e.tracer.InvocationStart(obs.InvocationStartEvent{Seed: opt.Seed, Now: e.now})
+	}
+
 	st := &InvocationStats{
 		Instrs:    res.Instrs,
 		Steps:     res.Steps,
@@ -195,6 +200,12 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 	}
 
 	st.Cycles = st.Stack.Total()
+	if e.tracer != nil {
+		e.tracer.InvocationEnd(obs.InvocationEndEvent{
+			Seed: opt.Seed, Now: e.now,
+			Instrs: st.Instrs, Cycles: st.Cycles, CPI: st.CPI(),
+		})
+	}
 	return st, nil
 }
 

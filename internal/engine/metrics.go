@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"ignite/internal/cache"
+	"ignite/internal/obs"
+)
+
+// RegisterMetrics exposes the engine's microarchitectural statistics —
+// previously reachable only as ad-hoc struct fields scattered across the
+// BTB, caches, CBP, ITLB and traffic tracker — through the obs registry
+// under one uniform namespace. Registration installs read-through sources
+// (obs.CounterFunc/GaugeFunc), so the components keep their existing
+// hot-path counters and pay nothing until a snapshot is taken.
+//
+// Metric names are stable: the experiment layer's per-cell exports and the
+// golden-file schema test both key off them.
+func (e *Engine) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	bs := e.btb.Stats()
+	btbL := labels.With("component", "btb")
+	reg.CounterFunc("btb.lookups", btbL, bs.Lookups.Value)
+	reg.CounterFunc("btb.hits", btbL, bs.Hits.Value)
+	reg.CounterFunc("btb.inserts", btbL, bs.Inserts.Value)
+	reg.CounterFunc("btb.evictions", btbL, bs.Evictions.Value)
+	reg.CounterFunc("btb.restored_inserts", btbL, bs.RestoredInserts.Value)
+	reg.CounterFunc("btb.restored_used", btbL, bs.RestoredUsed.Value)
+	reg.CounterFunc("btb.restored_evicted_untouched", btbL, bs.RestoredEvictedUU.Value)
+
+	cs := e.cbp.Stats()
+	cbpL := labels.With("component", "cbp")
+	reg.CounterFunc("cbp.predictions", cbpL, cs.Predictions.Value)
+	reg.CounterFunc("cbp.mispredicts", cbpL, cs.Mispredicts.Value)
+	reg.CounterFunc("cbp.bim_sets", cbpL, e.cbp.Bimodal().Stats().Sets.Value)
+
+	ts := e.itlb.Stats()
+	tlbL := labels.With("component", "itlb")
+	reg.CounterFunc("itlb.lookups", tlbL, ts.Lookups.Value)
+	reg.CounterFunc("itlb.misses", tlbL, ts.Misses.Value)
+	reg.CounterFunc("itlb.fills", tlbL, ts.Fills.Value)
+
+	hs := e.hier.Stats()
+	hierL := labels.With("component", "hierarchy")
+	reg.CounterFunc("hier.instr_fetches", hierL, hs.InstrFetches.Value)
+	reg.CounterFunc("hier.instr_l1_misses", hierL, hs.InstrL1Misses.Value)
+	reg.CounterFunc("hier.instr_l2_misses", hierL, hs.InstrL2Misses.Value)
+	reg.CounterFunc("hier.instr_llc_misses", hierL, hs.InstrLLCMisses.Value)
+	reg.CounterFunc("hier.data_accesses", hierL, hs.DataAccesses.Value)
+
+	for _, lvl := range []struct {
+		name string
+		c    *cache.Cache
+	}{{"l1i", e.hier.L1I}, {"l1d", e.hier.L1D}, {"l2", e.hier.L2}, {"llc", e.hier.LLC}} {
+		st := lvl.c.Stats()
+		l := labels.With("component", "cache", "level", lvl.name)
+		reg.CounterFunc("cache.accesses", l, st.Accesses.Value)
+		reg.CounterFunc("cache.hits", l, st.Hits.Value)
+		reg.CounterFunc("cache.misses", l, st.Misses.Value)
+		reg.CounterFunc("cache.prefetch_useful", l, st.PrefetchUseful.Value)
+		reg.CounterFunc("cache.prefetch_unused", l, st.PrefetchUnused.Value)
+	}
+
+	trafL := labels.With("component", "traffic")
+	for s := 0; s < cache.NumSources; s++ {
+		src := cache.Source(s)
+		if src == cache.SrcData {
+			continue
+		}
+		l := trafL.With("src", src.String())
+		reg.CounterFunc("traffic.src_inserted", l, func() uint64 {
+			ins, _ := e.traffic.SourceAccuracy(src)
+			return ins
+		})
+		reg.CounterFunc("traffic.src_useful", l, func() uint64 {
+			_, useful := e.traffic.SourceAccuracy(src)
+			return useful
+		})
+	}
+	reg.GaugeFunc("engine.now", labels.With("component", "engine"),
+		func() float64 { return float64(e.now) })
+}

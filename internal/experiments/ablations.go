@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ignite/internal/engine"
@@ -23,7 +24,7 @@ func init() {
 // AblCodec sweeps the compact-record delta widths and reports bits per
 // record — the study behind the paper's footnote 6 claim that 7-bit
 // branch-PC and 21-bit target deltas compress best.
-func AblCodec(opt Options) (*Result, error) {
+func AblCodec(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	r := &Result{ID: "abl-codec", Title: Title("abl-codec")}
 	t := stats.NewTable(r.Title,
@@ -31,6 +32,9 @@ func AblCodec(opt Options) (*Result, error) {
 
 	configs := []struct{ pc, tgt uint }{
 		{4, 12}, {7, 14}, {7, 21}, {10, 21}, {14, 28}, {21, 7},
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// One representative workload is enough for the codec study (and keeps
 	// the sweep cheap); use the first selected workload.
@@ -73,18 +77,21 @@ func recCompact(r *ignite.Recorder) int { return r.CompactRecords() }
 
 // AblThrottle sweeps the replay throttle threshold: too low starves the
 // restore, too high lets replay thrash the BTB ahead of use.
-func AblThrottle(opt Options) (*Result, error) {
+func AblThrottle(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	r := &Result{ID: "abl-throttle", Title: Title("abl-throttle")}
 	t := stats.NewTable(r.Title, "threshold", "speedup over NL", "BTB MPKI", "L1I MPKI")
 	for _, thr := range []int{64, 256, 1024, 4096, 1 << 20} {
 		var speedups, btbs, l1s []float64
 		for _, spec := range opt.Workloads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			prog, _, err := spec.Build()
 			if err != nil {
 				return nil, err
 			}
-			base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{})
+			base, err := sim.NewWithProgram(spec, prog, sim.KindNL)
 			if err != nil {
 				return nil, err
 			}
@@ -92,7 +99,7 @@ func AblThrottle(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.Tweaks{ThrottleThreshold: thr})
+			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.WithThrottleThreshold(thr))
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +125,7 @@ func AblThrottle(opt Options) (*Result, error) {
 
 // AblBTB compares Ice Lake's 5K-entry BTB against the modeled 12K-entry
 // Sapphire Rapids BTB (the paper states the overall trends are unaffected).
-func AblBTB(opt Options) (*Result, error) {
+func AblBTB(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	r := &Result{ID: "abl-btb", Title: Title("abl-btb")}
 	t := stats.NewTable(r.Title, "BTB entries", "config", "speedup over NL", "BTB MPKI")
@@ -126,11 +133,14 @@ func AblBTB(opt Options) (*Result, error) {
 		for _, kind := range []sim.Kind{sim.KindBoomerangJB, sim.KindIgnite} {
 			var speedups, btbs []float64
 			for _, spec := range opt.Workloads {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				prog, _, err := spec.Build()
 				if err != nil {
 					return nil, err
 				}
-				base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{BTBEntries: entries})
+				base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.WithBTBEntries(entries))
 				if err != nil {
 					return nil, err
 				}
@@ -138,7 +148,7 @@ func AblBTB(opt Options) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				st, err := sim.NewWithProgram(spec, prog, kind, sim.Tweaks{BTBEntries: entries})
+				st, err := sim.NewWithProgram(spec, prog, kind, sim.WithBTBEntries(entries))
 				if err != nil {
 					return nil, err
 				}
@@ -160,18 +170,21 @@ func AblBTB(opt Options) (*Result, error) {
 
 // AblMetadata sweeps Ignite's per-function metadata budget (the paper caps
 // it at 120 KiB).
-func AblMetadata(opt Options) (*Result, error) {
+func AblMetadata(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	r := &Result{ID: "abl-metadata", Title: Title("abl-metadata")}
 	t := stats.NewTable(r.Title, "budget KiB", "speedup over NL", "BTB MPKI", "records dropped")
 	for _, kib := range []int{8, 30, 60, 120, 240} {
 		var speedups, btbs, dropped []float64
 		for _, spec := range opt.Workloads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			prog, _, err := spec.Build()
 			if err != nil {
 				return nil, err
 			}
-			base, err := sim.NewWithProgram(spec, prog, sim.KindNL, sim.Tweaks{})
+			base, err := sim.NewWithProgram(spec, prog, sim.KindNL)
 			if err != nil {
 				return nil, err
 			}
@@ -179,7 +192,7 @@ func AblMetadata(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.Tweaks{MetadataBytes: kib << 10})
+			st, err := sim.NewWithProgram(spec, prog, sim.KindIgnite, sim.WithMetadataBytes(kib<<10))
 			if err != nil {
 				return nil, err
 			}

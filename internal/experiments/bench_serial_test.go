@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"ignite/internal/workload"
+)
+
+func benchSerialOpts(b *testing.B) Options {
+	b.Helper()
+	var specs []workload.Spec
+	for _, name := range []string{"Auth-G", "Curr-N"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.TargetInstr /= 2
+		specs = append(specs, s)
+	}
+	return Options{Workloads: specs, Parallel: 2}
+}
+
+// BenchmarkRunAllSerialNoCache replays the pre-scheduler execution shape:
+// parallelism only across workloads, configurations serial inside each
+// workload, and no cell sharing between experiments. It lives in-package
+// because the serialConfigs switch is an internal benchmark-only knob, not
+// part of the public Options surface. Compare against the root package's
+// BenchmarkRunAll for the scheduler + shared-cache path.
+func BenchmarkRunAllSerialNoCache(b *testing.B) {
+	opt := benchSerialOpts(b)
+	opt.serialConfigs = true
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range PaperIDs() {
+			if _, err := Run(ctx, id, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 
-	"ignite/internal/cache"
 	"ignite/internal/cfg"
+	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/workload"
 )
@@ -107,8 +107,11 @@ func (cc *CellCache) program(spec workload.Spec) (*cfg.Program, error) {
 }
 
 // cell returns the simulated (workload, config) cell, computing it at most
-// once per unique key.
-func (cc *CellCache) cell(spec workload.Spec, rc runConfig) (*cell, error) {
+// once per unique key. The second return reports whether the cell was served
+// from the cache (an entry another request already created). tracer, when
+// non-nil, is installed on freshly simulated cells' engines; it is not part
+// of the cache key because tracing never affects results.
+func (cc *CellCache) cell(spec workload.Spec, rc runConfig, tracer obs.Tracer) (*cell, bool, error) {
 	key := cellKey(spec, rc)
 	cc.mu.Lock()
 	e, ok := cc.cells[key]
@@ -119,8 +122,8 @@ func (cc *CellCache) cell(spec workload.Spec, rc runConfig) (*cell, error) {
 		cc.hits++
 	}
 	cc.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc) })
-	return e.c, e.err
+	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc, tracer) })
+	return e.c, ok, e.err
 }
 
 // trace returns the committed trace for (workload, seed, budget), walking
@@ -144,12 +147,13 @@ func (cc *CellCache) trace(prog *cfg.Program, specK string, seed, maxInstr uint6
 	return e.steps, e.res, e.err
 }
 
-func (cc *CellCache) compute(spec workload.Spec, rc runConfig) (*cell, error) {
+func (cc *CellCache) compute(spec workload.Spec, rc runConfig, tracer obs.Tracer) (*cell, error) {
 	prog, err := cc.program(spec)
 	if err != nil {
 		return nil, err
 	}
-	setup, err := sim.NewWithProgram(spec, prog, rc.Kind, rc.Tweak)
+	setup, err := sim.NewWithProgram(spec, prog, rc.Kind,
+		sim.WithTweaks(rc.Tweak), sim.WithTracer(tracer))
 	if err != nil {
 		return nil, err
 	}
@@ -163,15 +167,13 @@ func (cc *CellCache) compute(spec workload.Spec, rc runConfig) (*cell, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Capture the engine-side accuracy numbers as plain values so cached
-	// cells do not pin whole engines (caches, BTB, TAGE tables) in memory
-	// for the lifetime of a cross-experiment cache.
-	c := &cell{Res: res}
-	c.IgniteInserts, c.IgniteUseful = setup.Eng.Traffic().SourceAccuracy(cache.SrcIgnite)
-	bs := setup.Eng.BTB().Stats()
-	c.BTBRestored = bs.RestoredInserts.Value()
-	c.BTBRestoredUU = bs.RestoredEvictedUU.Value()
-	return c, nil
+	// Snapshot every engine/mechanism/result metric into plain values so
+	// cached cells do not pin whole engines (caches, BTB, TAGE tables) in
+	// memory for the lifetime of a cross-experiment cache.
+	reg := obs.NewRegistry()
+	setup.RegisterMetrics(reg)
+	res.RegisterMetrics(reg, nil)
+	return &cell{Res: res, Metrics: reg.Snapshot().Values()}, nil
 }
 
 // Stats reports the number of distinct cells simulated and how many cell

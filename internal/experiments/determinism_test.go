@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -35,13 +36,13 @@ func valuesEqual(a, b map[string]map[string]float64) (string, bool) {
 // cache-off (fresh simulation per experiment) vs cache-on (cells shared
 // through one CellCache across all three experiments).
 func TestDeterminism(t *testing.T) {
-	ids := []string{"fig1", "fig8", "fig9a"}
+	ids := []ID{"fig1", "fig8", "fig9a"}
 
-	base := map[string]map[string]map[string]float64{}
+	base := map[ID]map[string]map[string]float64{}
 	opt := quickOpts(t)
 	opt.Parallel = 1
 	for _, id := range ids {
-		r, err := Run(id, opt)
+		r, err := Run(context.Background(), id, opt)
 		if err != nil {
 			t.Fatalf("%s parallel=1: %v", id, err)
 		}
@@ -51,7 +52,7 @@ func TestDeterminism(t *testing.T) {
 	opt8 := quickOpts(t)
 	opt8.Parallel = 8
 	for _, id := range ids {
-		r, err := Run(id, opt8)
+		r, err := Run(context.Background(), id, opt8)
 		if err != nil {
 			t.Fatalf("%s parallel=8: %v", id, err)
 		}
@@ -63,7 +64,7 @@ func TestDeterminism(t *testing.T) {
 	optC := quickOpts(t)
 	optC.Parallel = 8
 	optC.Cache = NewCellCache()
-	results, err := RunAll(ids, optC)
+	results, err := RunAll(context.Background(), ids, optC)
 	if err != nil {
 		t.Fatalf("RunAll cached: %v", err)
 	}
@@ -86,7 +87,7 @@ func TestDeterminism(t *testing.T) {
 func TestRunMatrixAggregatesFailures(t *testing.T) {
 	opt := quickOpts(t)
 	opt.Parallel = 1 // serialize so cancellation after failure #1 is observable
-	_, err := runMatrix(opt, []runConfig{
+	_, err := runMatrix(context.Background(), "test", opt, []runConfig{
 		{Name: "bogus", Kind: sim.Kind("no-such-config"), Mode: lukewarm.Interleaved},
 	})
 	if err == nil {

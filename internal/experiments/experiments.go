@@ -5,18 +5,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"ignite/internal/engine"
 	"ignite/internal/lukewarm"
+	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/stats"
 	"ignite/internal/workload"
 )
+
+// ID identifies a registered experiment (a paper table/figure or an
+// ablation study).
+type ID string
 
 // Options configures an experiment run.
 type Options struct {
@@ -32,11 +40,18 @@ type Options struct {
 	// nil keeps reuse local to a single experiment. Results are
 	// bit-identical with or without a cache.
 	Cache *CellCache
-	// SerialConfigs restores the pre-scheduler execution shape — one
+	// Tracer, when set, receives run-progress events (CellDone on every
+	// finished cell, CacheHit on cache-served ones) and is installed on
+	// every freshly simulated cell's engine, which then emits
+	// invocation/replay lifecycle events. Cells run concurrently, so the
+	// tracer must be safe for concurrent use (every obs implementation
+	// is). Tracing never affects simulation results.
+	Tracer obs.Tracer
+	// serialConfigs restores the pre-scheduler execution shape — one
 	// goroutine per workload running its configurations serially — and is
 	// kept only so benchmarks can measure the old path (see
-	// BenchmarkRunAllSerialNoCache). Leave false.
-	SerialConfigs bool
+	// BenchmarkRunAllSerialNoCache in this package).
+	serialConfigs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -50,13 +65,18 @@ func (o Options) withDefaults() Options {
 }
 
 // Result is a reproduced table/figure: a rendered table plus the raw values
-// keyed by row then column for programmatic checks.
+// keyed by row then column for programmatic checks, and the per-cell metric
+// snapshots behind them. Document serializes the whole thing.
 type Result struct {
-	ID     string
+	ID     ID
 	Title  string
 	Table  *stats.Table
 	Table2 *stats.Table // optional companion table (e.g. mean MPKIs)
 	Values map[string]map[string]float64
+	// Cells holds one flattened metric snapshot per simulated
+	// (workload, config) cell contributing to this result, in
+	// deterministic (workload plot order, config name) order.
+	Cells []obs.CellMetrics
 }
 
 // Render returns the printable form of the result.
@@ -86,11 +106,13 @@ func (r *Result) set(row, col string, v float64) {
 	r.Values[row][col] = v
 }
 
-// Runner executes one experiment.
-type Runner func(Options) (*Result, error)
+// Runner executes one experiment. ctx cancels in-flight cell scheduling;
+// cells already running finish (a cell is seconds of CPU at full scale) and
+// the run returns ctx's error joined with any cell failures.
+type Runner func(ctx context.Context, opt Options) (*Result, error)
 
 type regEntry struct {
-	ID    string
+	ID    ID
 	Title string
 	Run   Runner
 }
@@ -122,41 +144,70 @@ func init() {
 	}, registry...)
 }
 
+// Info describes one registered experiment.
+type Info struct {
+	ID    ID
+	Title string
+}
+
 // IDs returns all experiment identifiers in presentation order.
-func IDs() []string {
-	ids := make([]string, len(registry))
+func IDs() []ID {
+	ids := make([]ID, len(registry))
 	for i, e := range registry {
 		ids[i] = e.ID
 	}
 	return ids
 }
 
-// Title returns an experiment's title.
-func Title(id string) string {
+// Lookup resolves an experiment ID. The second return is false for unknown
+// IDs; Run wraps that case in an UnknownIDError.
+func Lookup(id ID) (Info, bool) {
 	for _, e := range registry {
 		if e.ID == id {
-			return e.Title
+			return Info{ID: e.ID, Title: e.Title}, true
 		}
 	}
-	return ""
+	return Info{}, false
+}
+
+// Title returns an experiment's title ("" for unknown IDs).
+func Title(id ID) string {
+	info, _ := Lookup(id)
+	return info.Title
+}
+
+// UnknownIDError reports a request for an unregistered experiment, carrying
+// the valid IDs so CLIs can print an actionable message.
+type UnknownIDError struct {
+	ID    ID
+	Valid []ID
+}
+
+func (e *UnknownIDError) Error() string {
+	valid := make([]string, len(e.Valid))
+	for i, id := range e.Valid {
+		valid[i] = string(id)
+	}
+	return fmt.Sprintf("experiments: unknown experiment %q (valid: %s)",
+		e.ID, strings.Join(valid, ", "))
 }
 
 // Run executes the experiment with the given ID.
-func Run(id string, opt Options) (*Result, error) {
+func Run(ctx context.Context, id ID, opt Options) (*Result, error) {
 	for _, e := range registry {
 		if e.ID == id {
-			return e.Run(opt)
+			return e.Run(ctx, opt)
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	return nil, &UnknownIDError{ID: id, Valid: IDs()}
 }
 
 // PaperIDs returns the paper's table/figure experiments (excluding the
 // ablation studies) in presentation order.
-func PaperIDs() []string {
-	var ids []string
+func PaperIDs() []ID {
+	var ids []ID
 	for _, e := range registry {
-		if strings.HasPrefix(e.ID, "tab") || strings.HasPrefix(e.ID, "fig") {
+		if strings.HasPrefix(string(e.ID), "tab") || strings.HasPrefix(string(e.ID), "fig") {
 			ids = append(ids, e.ID)
 		}
 	}
@@ -168,7 +219,7 @@ func PaperIDs() []string {
 // nl/interleaved baseline alone is needed by fig3, fig8, fig9a, fig11 and
 // fig12, and fig9a repeats four of fig8's configurations — are simulated
 // exactly once for the whole reproduction run.
-func RunAll(ids []string, opt Options) ([]*Result, error) {
+func RunAll(ctx context.Context, ids []ID, opt Options) ([]*Result, error) {
 	if ids == nil {
 		ids = IDs()
 	}
@@ -177,7 +228,10 @@ func RunAll(ids []string, opt Options) ([]*Result, error) {
 	}
 	results := make([]*Result, 0, len(ids))
 	for _, id := range ids {
-		r, err := Run(id, opt)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := Run(ctx, id, opt)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}
@@ -194,26 +248,37 @@ type runConfig struct {
 	Mode  lukewarm.Mode
 }
 
-// cell is the outcome of one (workload, config) simulation. The engine-side
-// restore-accuracy numbers (Figure 9c) are captured eagerly as plain values
-// rather than by retaining the *sim.Setup, so a cross-experiment cache of
-// cells stays small instead of pinning one full engine per unique cell.
+// cell is the outcome of one (workload, config) simulation: the lukewarm
+// result plus the cell's flattened metric snapshot. Metrics are captured
+// eagerly as plain values rather than by retaining the *sim.Setup, so a
+// cross-experiment cache of cells stays small instead of pinning one full
+// engine per unique cell.
 type cell struct {
 	Res *lukewarm.Result
-	// Ignite restore accuracy: L2 lines inserted by the restore and how
-	// many of those were later demand-used.
-	IgniteInserts, IgniteUseful uint64
-	// BTB restore accuracy: restored entries and those evicted untouched.
-	BTBRestored, BTBRestoredUU uint64
+	// Metrics is the cell's registry snapshot (engine + mechanisms +
+	// result aggregates), keyed by obs sample key. Figure code reads
+	// specific keys (see the m* constants); the exporters ship the whole
+	// map per cell.
+	Metrics map[string]float64
 }
+
+// Metric keys the figure code reads back out of cell snapshots. Label sets
+// are canonical (sorted by key), so these strings are stable.
+const (
+	mIgniteInserted = "traffic.src_inserted{component=traffic,src=ignite}"
+	mIgniteUseful   = "traffic.src_useful{component=traffic,src=ignite}"
+	mBTBRestored    = "btb.restored_inserts{component=btb}"
+	mBTBRestoredUU  = "btb.restored_evicted_untouched{component=btb}"
+)
 
 // runMatrix simulates every workload under every configuration by
 // submitting each (workload, config) cell independently to a bounded worker
 // pool. The generated program is built once per workload (through the cell
 // cache's program memo) and shared read-only across that workload's cells.
-// Cell failures are aggregated with errors.Join, and the first failure
-// cancels cells that have not started yet.
-func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, error) {
+// Cell failures are aggregated with errors.Join, the first failure cancels
+// cells that have not started yet, and ctx cancellation skips unstarted
+// cells the same way. Every finished cell is announced to opt.Tracer.
+func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (map[string]map[string]*cell, error) {
 	opt = opt.withDefaults()
 	cache := opt.Cache
 	if cache == nil {
@@ -222,7 +287,7 @@ func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, e
 		// replays the pre-scheduler cost model, which regenerated every
 		// invocation trace, so trace sharing stays off there.
 		cache = NewCellCache()
-		cache.shareTraces = !opt.SerialConfigs
+		cache.shareTraces = !opt.serialConfigs
 	}
 	out := make(map[string]map[string]*cell, len(opt.Workloads))
 	var mu sync.Mutex
@@ -237,17 +302,41 @@ func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, e
 		mu.Unlock()
 	}
 
-	sched := newScheduler(opt.Parallel)
-	if opt.SerialConfigs {
+	total := len(opt.Workloads) * len(configs)
+	var done atomic.Int64
+	runCell := func(spec workload.Spec, rc runConfig) error {
+		start := time.Now()
+		c, cached, err := cache.cell(spec, rc, opt.Tracer)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+		}
+		store(spec.Name, rc.Name, c)
+		if tr := opt.Tracer; tr != nil {
+			if cached {
+				tr.CacheHit(obs.CacheHitEvent{Workload: spec.Name, Config: rc.Name})
+			}
+			tr.CellDone(obs.CellDoneEvent{
+				Experiment: string(id),
+				Workload:   spec.Name,
+				Config:     rc.Name,
+				Cached:     cached,
+				Done:       int(done.Add(1)),
+				Total:      total,
+				Elapsed:    time.Since(start),
+			})
+		}
+		return nil
+	}
+
+	sched := newScheduler(ctx, opt.Parallel)
+	if opt.serialConfigs {
 		for _, spec := range opt.Workloads {
 			spec := spec
 			sched.submit(func() error {
 				for _, rc := range configs {
-					c, err := cache.cell(spec, rc)
-					if err != nil {
-						return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+					if err := runCell(spec, rc); err != nil {
+						return err
 					}
-					store(spec.Name, rc.Name, c)
 				}
 				return nil
 			})
@@ -256,14 +345,7 @@ func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, e
 		for _, spec := range opt.Workloads {
 			for _, rc := range configs {
 				spec, rc := spec, rc
-				sched.submit(func() error {
-					c, err := cache.cell(spec, rc)
-					if err != nil {
-						return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
-					}
-					store(spec.Name, rc.Name, c)
-					return nil
-				})
+				sched.submit(func() error { return runCell(spec, rc) })
 			}
 		}
 	}
@@ -271,6 +353,24 @@ func runMatrix(opt Options, configs []runConfig) (map[string]map[string]*cell, e
 		return nil, err
 	}
 	return out, nil
+}
+
+// attachCells copies the matrix's per-cell metric snapshots into the result
+// in deterministic (workload plot order, config name) order.
+func attachCells(r *Result, opt Options, m map[string]map[string]*cell) {
+	for _, name := range orderedNames(opt, m) {
+		row := m[name]
+		cfgs := make([]string, 0, len(row))
+		for cn := range row {
+			cfgs = append(cfgs, cn)
+		}
+		sort.Strings(cfgs)
+		for _, cn := range cfgs {
+			r.Cells = append(r.Cells, obs.CellMetrics{
+				Workload: name, Config: cn, Metrics: row[cn].Metrics,
+			})
+		}
+	}
 }
 
 // orderedNames returns workload names present in m, in Table 1 order.
@@ -297,7 +397,8 @@ func plotIndex(name string) int {
 }
 
 // Table1 lists the benchmark suite.
-func Table1(opt Options) (*Result, error) {
+func Table1(ctx context.Context, opt Options) (*Result, error) {
+	_ = ctx // no simulation cells
 	opt = opt.withDefaults()
 	r := &Result{ID: "tab1", Title: Title("tab1")}
 	t := stats.NewTable(r.Title, "function", "full name", "runtime", "target instrs/invocation")
@@ -310,7 +411,8 @@ func Table1(opt Options) (*Result, error) {
 }
 
 // Table2 dumps the simulated core parameters.
-func Table2(opt Options) (*Result, error) {
+func Table2(ctx context.Context, opt Options) (*Result, error) {
+	_ = ctx // no simulation cells
 	r := &Result{ID: "tab2", Title: Title("tab2")}
 	c := engine.DefaultConfig()
 	t := stats.NewTable(r.Title, "parameter", "value")
@@ -339,7 +441,7 @@ func Table2(opt Options) (*Result, error) {
 
 // Fig2 measures per-invocation instruction and branch working sets, one
 // scheduler cell per workload (program builds are shared through the cache).
-func Fig2(opt Options) (*Result, error) {
+func Fig2(ctx context.Context, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	cache := opt.Cache
 	if cache == nil {
@@ -347,7 +449,7 @@ func Fig2(opt Options) (*Result, error) {
 	}
 	sets := make(map[string]workload.WorkingSet, len(opt.Workloads))
 	var mu sync.Mutex
-	sched := newScheduler(opt.Parallel)
+	sched := newScheduler(ctx, opt.Parallel)
 	for _, s := range opt.Workloads {
 		s := s
 		sched.submit(func() error {
@@ -390,12 +492,12 @@ func Fig2(opt Options) (*Result, error) {
 
 // Fig1 compares CPI stacks between back-to-back and interleaved execution
 // under the baseline next-line prefetcher.
-func Fig1(opt Options) (*Result, error) {
+func Fig1(ctx context.Context, opt Options) (*Result, error) {
 	configs := []runConfig{
 		{Name: "b2b", Kind: sim.KindNL, Mode: lukewarm.BackToBack},
 		{Name: "interleaved", Kind: sim.KindNL, Mode: lukewarm.Interleaved},
 	}
-	m, err := runMatrix(opt, configs)
+	m, err := runMatrix(ctx, "fig1", opt, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -428,14 +530,15 @@ func Fig1(opt Options) (*Result, error) {
 	r.set("Mean", "degradationPct", stats.Mean(degr))
 	r.set("Mean", "frontendShare", stats.Mean(feShare))
 	r.Table = t
+	attachCells(r, opt, m)
 	return r, nil
 }
 
 // speedupExperiment runs a set of configurations (plus the NL baseline) and
 // reports per-workload speedups and mean MPKIs.
-func speedupExperiment(id string, opt Options, configs []runConfig) (*Result, error) {
+func speedupExperiment(ctx context.Context, id ID, opt Options, configs []runConfig) (*Result, error) {
 	all := append([]runConfig{{Name: "nl", Kind: sim.KindNL, Mode: lukewarm.Interleaved}}, configs...)
-	m, err := runMatrix(opt, all)
+	m, err := runMatrix(ctx, id, opt, all)
 	if err != nil {
 		return nil, err
 	}
@@ -482,5 +585,6 @@ func speedupExperiment(id string, opt Options, configs []runConfig) (*Result, er
 	}
 	r.Table = t
 	r.Table2 = t2
+	attachCells(r, opt, m)
 	return r, nil
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -28,11 +30,11 @@ func TestIDsAndTitles(t *testing.T) {
 	if len(ids) < 19 {
 		t.Fatalf("got %d experiments, want >= 19 (15 paper + 4 ablations)", len(ids))
 	}
-	has := map[string]bool{}
+	has := map[ID]bool{}
 	for _, id := range ids {
 		has[id] = true
 	}
-	for _, want := range []string{"fig1", "fig8", "fig12", "abl-codec", "abl-throttle", "abl-btb", "abl-metadata"} {
+	for _, want := range []ID{"fig1", "fig8", "fig12", "abl-codec", "abl-throttle", "abl-btb", "abl-metadata"} {
 		if !has[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -42,20 +44,25 @@ func TestIDsAndTitles(t *testing.T) {
 			t.Errorf("no title for %s", id)
 		}
 	}
-	if _, err := Run("nope", Options{}); err == nil {
+	var unknown *UnknownIDError
+	if _, err := Run(context.Background(), "nope", Options{}); err == nil {
 		t.Error("unknown experiment accepted")
+	} else if !errors.As(err, &unknown) {
+		t.Errorf("unknown-experiment error has wrong type: %v", err)
+	} else if len(unknown.Valid) != len(ids) {
+		t.Errorf("UnknownIDError lists %d valid IDs, want %d", len(unknown.Valid), len(ids))
 	}
 }
 
 func TestTables(t *testing.T) {
-	r1, err := Run("tab1", quickOpts(t))
+	r1, err := Run(context.Background(), "tab1", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(r1.Render(), "Fib-G") {
 		t.Error("tab1 missing workload")
 	}
-	r2, err := Run("tab2", Options{})
+	r2, err := Run(context.Background(), "tab2", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +72,7 @@ func TestTables(t *testing.T) {
 }
 
 func TestFig1ShowsDegradation(t *testing.T) {
-	r, err := Run("fig1", quickOpts(t))
+	r, err := Run(context.Background(), "fig1", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +85,7 @@ func TestFig1ShowsDegradation(t *testing.T) {
 }
 
 func TestFig2WorkingSets(t *testing.T) {
-	r, err := Run("fig2", quickOpts(t))
+	r, err := Run(context.Background(), "fig2", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +95,7 @@ func TestFig2WorkingSets(t *testing.T) {
 }
 
 func TestFig8HeadlineResult(t *testing.T) {
-	r, err := Run("fig8", quickOpts(t))
+	r, err := Run(context.Background(), "fig8", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +122,7 @@ func TestFig8HeadlineResult(t *testing.T) {
 }
 
 func TestFig11PolicyOrdering(t *testing.T) {
-	r, err := Run("fig11", quickOpts(t))
+	r, err := Run(context.Background(), "fig11", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +134,7 @@ func TestFig11PolicyOrdering(t *testing.T) {
 }
 
 func TestFig9cAccuracyBounds(t *testing.T) {
-	r, err := Run("fig9c", quickOpts(t))
+	r, err := Run(context.Background(), "fig9c", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +151,7 @@ func TestFig9cAccuracyBounds(t *testing.T) {
 }
 
 func TestFig10TrafficBreakdown(t *testing.T) {
-	r, err := Run("fig10", quickOpts(t))
+	r, err := Run(context.Background(), "fig10", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +168,7 @@ func TestFig10TrafficBreakdown(t *testing.T) {
 }
 
 func TestAblCodecFindsPaperSweetSpot(t *testing.T) {
-	r, err := Run("abl-codec", quickOpts(t))
+	r, err := Run(context.Background(), "abl-codec", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +189,7 @@ func TestAblThrottleSweep(t *testing.T) {
 	}
 	opt := quickOpts(t)
 	opt.Workloads = opt.Workloads[:1]
-	r, err := Run("abl-throttle", opt)
+	r, err := Run(context.Background(), "abl-throttle", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +204,7 @@ func TestFig5WarmCBPComponents(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	r, err := Run("fig5", quickOpts(t))
+	r, err := Run(context.Background(), "fig5", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +223,7 @@ func TestFig12TemporalStreaming(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	r, err := Run("fig12", quickOpts(t))
+	r, err := Run(context.Background(), "fig12", quickOpts(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/sim"
@@ -9,8 +11,8 @@ import (
 
 // Fig3 compares the prior-art front-end prefetchers against the ideal
 // front-end on lukewarm invocations.
-func Fig3(opt Options) (*Result, error) {
-	return speedupExperiment("fig3", opt, []runConfig{
+func Fig3(ctx context.Context, opt Options) (*Result, error) {
+	return speedupExperiment(ctx, "fig3", opt, []runConfig{
 		{Name: "jukebox", Kind: sim.KindJukebox, Mode: lukewarm.Interleaved},
 		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
 		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
@@ -19,8 +21,8 @@ func Fig3(opt Options) (*Result, error) {
 }
 
 // Fig4 evaluates Boomerang+JB with selectively preserved BPU state.
-func Fig4(opt Options) (*Result, error) {
-	return speedupExperiment("fig4", opt, []runConfig{
+func Fig4(ctx context.Context, opt Options) (*Result, error) {
+	return speedupExperiment(ctx, "fig4", opt, []runConfig{
 		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
 		{Name: "+warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
 			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
@@ -32,8 +34,8 @@ func Fig4(opt Options) (*Result, error) {
 
 // Fig5 splits the warm-CBP benefit between the BIM and TAGE components,
 // on Boomerang+JB with a warm BTB.
-func Fig5(opt Options) (*Result, error) {
-	return speedupExperiment("fig5", opt, []runConfig{
+func Fig5(ctx context.Context, opt Options) (*Result, error) {
+	return speedupExperiment(ctx, "fig5", opt, []runConfig{
 		{Name: "btb-warm-cbp-cold", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
 			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
 		{Name: "+bim-warm", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
@@ -46,8 +48,8 @@ func Fig5(opt Options) (*Result, error) {
 // Fig6 splits the conditional mispredictions of Boomerang+JB (warm BTB,
 // cold CBP) into initial (first execution of a branch in the invocation)
 // and subsequent mispredictions.
-func Fig6(opt Options) (*Result, error) {
-	m, err := runMatrix(opt, []runConfig{
+func Fig6(ctx context.Context, opt Options) (*Result, error) {
+	m, err := runMatrix(ctx, "fig6", opt, []runConfig{
 		{Name: "bjb-warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
 			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
 	})
@@ -74,13 +76,14 @@ func Fig6(opt Options) (*Result, error) {
 	t.AddRowf("Mean", "", "", stats.Mean(shares))
 	r.set("Mean", "sharePct", stats.Mean(shares))
 	r.Table = t
+	attachCells(r, opt, m)
 	return r, nil
 }
 
 // Fig8 is the headline evaluation: per-function speedups of Boomerang,
 // Boomerang+JB, Ignite, Ignite+TAGE and the ideal front-end over NL.
-func Fig8(opt Options) (*Result, error) {
-	return speedupExperiment("fig8", opt, []runConfig{
+func Fig8(ctx context.Context, opt Options) (*Result, error) {
+	return speedupExperiment(ctx, "fig8", opt, []runConfig{
 		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
 		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
 		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
@@ -90,8 +93,8 @@ func Fig8(opt Options) (*Result, error) {
 }
 
 // Fig9a reports the miss-coverage MPKIs for the Figure 8 configurations.
-func Fig9a(opt Options) (*Result, error) {
-	r, err := speedupExperiment("fig9a", opt, []runConfig{
+func Fig9a(ctx context.Context, opt Options) (*Result, error) {
+	r, err := speedupExperiment(ctx, "fig9a", opt, []runConfig{
 		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
 		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
 		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
@@ -107,8 +110,8 @@ func Fig9a(opt Options) (*Result, error) {
 
 // Fig9b reports Ignite's coverage of initial mispredictions against the
 // Boomerang+JB (warm BTB) background of Figure 6.
-func Fig9b(opt Options) (*Result, error) {
-	m, err := runMatrix(opt, []runConfig{
+func Fig9b(ctx context.Context, opt Options) (*Result, error) {
+	m, err := runMatrix(ctx, "fig9b", opt, []runConfig{
 		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
 		{Name: "bjb-warm-btb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved,
 			Tweak: sim.Tweaks{Keep: lukewarm.Preserve{BTB: true}}},
@@ -137,14 +140,15 @@ func Fig9b(opt Options) (*Result, error) {
 	t.AddRowf("Mean", "", "", "", "", stats.Mean(covs))
 	r.set("Mean", "coveredPct", stats.Mean(covs))
 	r.Table = t
+	attachCells(r, opt, m)
 	return r, nil
 }
 
 // Fig9c reports Ignite's restore accuracy: the fraction of restored L2
 // lines and BTB entries that were never used, and the mispredictions its
 // BIM initialization induced.
-func Fig9c(opt Options) (*Result, error) {
-	m, err := runMatrix(opt, []runConfig{
+func Fig9c(ctx context.Context, opt Options) (*Result, error) {
+	m, err := runMatrix(ctx, "fig9c", opt, []runConfig{
 		{Name: "ignite", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved},
 	})
 	if err != nil {
@@ -156,13 +160,16 @@ func Fig9c(opt Options) (*Result, error) {
 	var l2s, btbs, cbps []float64
 	for _, name := range orderedNames(opt, m) {
 		c := m[name]["ignite"]
+		inserted := c.Metrics[mIgniteInserted]
+		useful := c.Metrics[mIgniteUseful]
 		l2Over := 0.0
-		if c.IgniteInserts > 0 {
-			l2Over = float64(c.IgniteInserts-c.IgniteUseful) / float64(c.IgniteInserts) * 100
+		if inserted > 0 {
+			l2Over = (inserted - useful) / inserted * 100
 		}
+		restored := c.Metrics[mBTBRestored]
 		btbOver := 0.0
-		if c.BTBRestored > 0 {
-			btbOver = float64(c.BTBRestoredUU) / float64(c.BTBRestored) * 100
+		if restored > 0 {
+			btbOver = c.Metrics[mBTBRestoredUU] / restored * 100
 		}
 		res := c.Res
 		induced := 0.0
@@ -182,14 +189,15 @@ func Fig9c(opt Options) (*Result, error) {
 	r.set("Mean", "btbOverPct", stats.Mean(btbs))
 	r.set("Mean", "cbpInducedPct", stats.Mean(cbps))
 	r.Table = t
+	attachCells(r, opt, m)
 	return r, nil
 }
 
 // Fig10 breaks down per-invocation memory traffic into useful instructions,
 // useless instructions (wrong path and dead prefetches), and record/replay
 // metadata. Ignite runs with double buffering — the paper's worst case.
-func Fig10(opt Options) (*Result, error) {
-	m, err := runMatrix(opt, []runConfig{
+func Fig10(ctx context.Context, opt Options) (*Result, error) {
+	m, err := runMatrix(ctx, "fig10", opt, []runConfig{
 		{Name: "nl", Kind: sim.KindNL, Mode: lukewarm.Interleaved},
 		{Name: "boomerang", Kind: sim.KindBoomerang, Mode: lukewarm.Interleaved},
 		{Name: "boomerang+jb", Kind: sim.KindBoomerangJB, Mode: lukewarm.Interleaved},
@@ -223,17 +231,18 @@ func Fig10(opt Options) (*Result, error) {
 		r.set(cfgName, "totalKiB", (useful+useless+rec+rep)/fn)
 	}
 	r.Table = t
+	attachCells(r, opt, m)
 	return r, nil
 }
 
 // Fig11 compares bimodal initialization policies: no BIM restore, BIM state
 // preserved across invocations, weakly-not-taken, and weakly-taken (the
 // Ignite default).
-func Fig11(opt Options) (*Result, error) {
+func Fig11(ctx context.Context, opt Options) (*Result, error) {
 	none := ignite.BIMNone
 	wnt := ignite.BIMWeaklyNotTaken
 	wt := ignite.BIMWeaklyTaken
-	return speedupExperiment("fig11", opt, []runConfig{
+	return speedupExperiment(ctx, "fig11", opt, []runConfig{
 		{Name: "btb-only", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
 			Tweak: sim.Tweaks{BIMPolicy: &none}},
 		{Name: "bim-preserved", Kind: sim.KindIgnite, Mode: lukewarm.Interleaved,
@@ -247,8 +256,8 @@ func Fig11(opt Options) (*Result, error) {
 
 // Fig12 evaluates temporal-streaming prefetching: Confluence alone, with
 // Ignite, and FDP with Ignite.
-func Fig12(opt Options) (*Result, error) {
-	return speedupExperiment("fig12", opt, []runConfig{
+func Fig12(ctx context.Context, opt Options) (*Result, error) {
+	return speedupExperiment(ctx, "fig12", opt, []runConfig{
 		{Name: "confluence", Kind: sim.KindConfluence, Mode: lukewarm.Interleaved},
 		{Name: "confluence+ignite", Kind: sim.KindConfluenceIgnite, Mode: lukewarm.Interleaved},
 		{Name: "fdp+ignite", Kind: sim.KindFDPIgnite, Mode: lukewarm.Interleaved},

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"runtime"
+
+	"ignite/internal/obs"
+	"ignite/internal/stats"
+)
+
+// Manifest describes how a run with these options would execute: the
+// workload set (name, seed, instruction budget pin each simulation
+// bit-exactly), the scheduler width, and — when a shared cell cache is
+// installed — its occupancy at call time. Callers stamp Generated
+// themselves; it stays empty here so golden fixtures are byte-stable.
+func (o Options) Manifest() obs.Manifest {
+	o = o.withDefaults()
+	man := obs.Manifest{
+		GoVersion: runtime.Version(),
+		Parallel:  o.Parallel,
+	}
+	for _, s := range o.Workloads {
+		man.Workloads = append(man.Workloads, obs.WorkloadManifest{
+			Name:        s.Name,
+			Seed:        s.Gen.Seed,
+			TargetInstr: s.TargetInstr,
+		})
+	}
+	if o.Cache != nil {
+		man.CacheCells, man.CacheHits = o.Cache.Stats()
+	}
+	return man
+}
+
+// Document serializes the result into the versioned machine-readable form
+// the CLIs export: values, presentation tables as structured rows, per-cell
+// metric snapshots, and the given run manifest.
+func (r *Result) Document(man obs.Manifest) obs.Document {
+	doc := obs.Document{
+		SchemaVersion: obs.SchemaVersion,
+		Kind:          obs.DocumentKind,
+		ID:            string(r.ID),
+		Title:         r.Title,
+		Values:        r.Values,
+		Cells:         r.Cells,
+		Manifest:      man,
+	}
+	for _, t := range []*stats.Table{r.Table, r.Table2} {
+		if t == nil {
+			continue
+		}
+		doc.Tables = append(doc.Tables, obs.TableDoc{
+			Title:  t.Title(),
+			Header: t.Header(),
+			Rows:   t.Rows(),
+		})
+	}
+	return doc
+}

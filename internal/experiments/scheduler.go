@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -14,7 +15,10 @@ import (
 // Failures are aggregated rather than first-wins: wait returns every cell
 // error joined. After the first failure the scheduler cancels — cells that
 // have not started yet are skipped, so a doomed run stops burning CPU.
+// Context cancellation (Ctrl-C in the CLIs) skips unstarted cells the same
+// way; cells already inside fn run to completion, so the drain is clean.
 type scheduler struct {
+	ctx      context.Context
 	sem      chan struct{}
 	wg       sync.WaitGroup
 	mu       sync.Mutex
@@ -22,15 +26,18 @@ type scheduler struct {
 	canceled bool
 }
 
-func newScheduler(parallel int) *scheduler {
+func newScheduler(ctx context.Context, parallel int) *scheduler {
 	if parallel < 1 {
 		parallel = 1
 	}
-	return &scheduler{sem: make(chan struct{}, parallel)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &scheduler{ctx: ctx, sem: make(chan struct{}, parallel)}
 }
 
 // submit queues one cell. fn runs once a worker slot frees up, unless the
-// run was canceled by an earlier failure first.
+// run was canceled by an earlier failure or context cancellation first.
 func (s *scheduler) submit(fn func() error) {
 	s.wg.Add(1)
 	go func() {
@@ -40,7 +47,7 @@ func (s *scheduler) submit(fn func() error) {
 		s.mu.Lock()
 		dead := s.canceled
 		s.mu.Unlock()
-		if dead {
+		if dead || s.ctx.Err() != nil {
 			return
 		}
 		if err := fn(); err != nil {
@@ -53,8 +60,13 @@ func (s *scheduler) submit(fn func() error) {
 }
 
 // wait blocks until every submitted cell has finished or been skipped and
-// returns the joined failures (nil when all cells succeeded).
+// returns the joined failures plus the context error if the run was
+// canceled (nil when all cells succeeded).
 func (s *scheduler) wait() error {
 	s.wg.Wait()
-	return errors.Join(s.errs...)
+	errs := s.errs
+	if err := s.ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }

@@ -7,6 +7,7 @@ import (
 	"ignite/internal/cfg"
 	"ignite/internal/engine"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 )
 
 // MaxMetadataBytes is the paper's per-function metadata cap (120 KiB).
@@ -167,6 +168,20 @@ func (ig *Ignite) recordRegionUsed() int {
 		used = ig.regionB.Used()
 	}
 	return used
+}
+
+// RegisterMetrics exposes the instance's record/replay statistics through
+// the obs registry as read-through sources.
+func (ig *Ignite) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	l := labels.With("component", "ignite")
+	reg.CounterFunc("ignite.records", l, func() uint64 { return uint64(ig.rec.Records()) })
+	reg.CounterFunc("ignite.compact_records", l, func() uint64 { return uint64(ig.rec.CompactRecords()) })
+	reg.CounterFunc("ignite.dropped_records", l, func() uint64 { return uint64(ig.rec.Dropped) })
+	reg.GaugeFunc("ignite.metadata_bytes", l, func() float64 { return float64(ig.MetadataUsed()) })
+	reg.CounterFunc("ignite.restored", l, func() uint64 { return uint64(ig.rep.Restored) })
+	reg.CounterFunc("ignite.bim_set", l, func() uint64 { return uint64(ig.rep.BIMSet) })
+	reg.CounterFunc("ignite.lines_prefetched", l, func() uint64 { return uint64(ig.rep.LinesPrefetched) })
+	reg.CounterFunc("ignite.throttle_stalls", l, func() uint64 { return uint64(ig.rep.ThrottleStalls) })
 }
 
 // String summarizes the instance state.

@@ -5,6 +5,7 @@ import (
 	"ignite/internal/cache"
 	"ignite/internal/engine"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 )
 
 // BIMPolicy selects how replay initializes the bimodal entry of each
@@ -121,6 +122,11 @@ func (r *Replayer) BeginInvocation() {
 	if !r.armed {
 		return
 	}
+	if t := r.eng.Tracer(); t != nil {
+		t.ReplayStart(obs.ReplayStartEvent{
+			Mechanism: r.Name(), Now: r.eng.Now(), Bytes: r.region.Used(),
+		})
+	}
 	r.region.ResetRead()
 	r.dec = NewDecoder(r.codec, r.region)
 	r.active = true
@@ -186,6 +192,11 @@ func (r *Replayer) Drain() {
 func (r *Replayer) finish() {
 	r.active = false
 	r.accountBits()
+	if t := r.eng.Tracer(); t != nil {
+		t.ReplayEnd(obs.ReplayEndEvent{
+			Mechanism: r.Name(), Now: r.eng.Now(), Restored: r.Restored,
+		})
+	}
 }
 
 // accountBits charges replay metadata bandwidth for newly consumed bits.

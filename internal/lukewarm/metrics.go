@@ -1,0 +1,33 @@
+package lukewarm
+
+import "ignite/internal/obs"
+
+// RegisterMetrics exposes the aggregate measurement-phase figures of a
+// finished lukewarm run through the obs registry. All sources are
+// read-through gauges over the Result accessors, so registration is cheap
+// and snapshots always reflect the Result as stored.
+func (r *Result) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	l := labels.With("component", "result")
+	reg.GaugeFunc("result.instrs", l, func() float64 { return float64(r.Instrs()) })
+	reg.GaugeFunc("result.cycles", l, r.Cycles)
+	reg.GaugeFunc("result.cpi", l, r.CPI)
+	reg.GaugeFunc("result.l1i_mpki", l, r.L1IMPKI)
+	reg.GaugeFunc("result.btb_mpki", l, r.BTBMPKI)
+	reg.GaugeFunc("result.cbp_mpki", l, r.CBPMPKI)
+	reg.GaugeFunc("result.initial_cbp_mpki", l, r.InitialCBPMPKI)
+	reg.GaugeFunc("result.induced_mpki", l, r.InducedMPKI)
+	reg.GaugeFunc("result.bpu_mpki", l, r.BPUMPKI)
+	reg.GaugeFunc("result.offchip_mpki", l, r.OffChipMPKI)
+	reg.GaugeFunc("result.traffic_useful_bytes", l, func() float64 {
+		return float64(r.MeanTraffic().UsefulInstrBytes)
+	})
+	reg.GaugeFunc("result.traffic_useless_bytes", l, func() float64 {
+		return float64(r.MeanTraffic().UselessInstrBytes)
+	})
+	reg.GaugeFunc("result.traffic_record_bytes", l, func() float64 {
+		return float64(r.MeanTraffic().RecordMetaBytes)
+	})
+	reg.GaugeFunc("result.traffic_replay_bytes", l, func() float64 {
+		return float64(r.MeanTraffic().ReplayMetaBytes)
+	})
+}

@@ -1,0 +1,311 @@
+// Package obs is the simulator's structured observability layer: a typed
+// metrics registry every subsystem registers into, an event-tracing hook API
+// the engine hot path emits through (zero-cost when no tracer is installed),
+// a run-progress reporter for long experiment matrices, and the versioned
+// machine-readable result documents the CLIs export.
+//
+// obs depends only on the standard library so that every other internal
+// package — engine, ignite, prefetch, lukewarm, experiments — can import it
+// without cycles.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one key=value dimension of a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Labels is an ordered label set. Construct with L; ordering is
+// canonicalized (sorted by key) so equal sets compare equal.
+type Labels []Label
+
+// L builds a canonical label set from alternating key, value strings.
+// L("component", "btb", "level", "l2") → component=btb,level=l2.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs.L: odd number of key/value strings")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// With returns a copy of the set extended by the given pairs.
+func (ls Labels) With(kv ...string) Labels {
+	ext := L(kv...)
+	out := make(Labels, 0, len(ls)+len(ext))
+	out = append(out, ls...)
+	out = append(out, ext...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// String renders the set as "k=v,k2=v2" (empty string for no labels).
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Kind discriminates metric types in snapshots.
+type Kind string
+
+const (
+	KindCounter      Kind = "counter"
+	KindGauge        Kind = "gauge"
+	KindDistribution Kind = "distribution"
+)
+
+// Counter is a monotonically increasing event counter owned by the
+// registry. The zero value is ready to use; methods are not synchronized —
+// a counter belongs to one simulation goroutine, like the engine's own
+// statistics.
+type Counter struct{ n uint64 }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Distribution accumulates observations (count, sum, min, max). It keeps
+// constant state rather than samples, so hot paths can Observe freely.
+type Distribution struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// Observe folds one observation into the distribution.
+func (d *Distribution) Observe(v float64) {
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() uint64 { return d.count }
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	labels Labels
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	dist    *Distribution
+	// read-through sources bridging pre-existing component counters into
+	// the registry without relocating their hot-path storage.
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+func (m *metric) key() string { return sampleKey(m.name, m.labels) }
+
+func sampleKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labels.String() + "}"
+}
+
+// Registry holds a set of named, labeled metrics. Registration is
+// synchronized (components register concurrently under the cell scheduler);
+// the returned instruments themselves are single-goroutine, matching the
+// engine's execution model of one goroutine per simulation cell.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// registerLocked finds or creates the metric slot; r.mu must be held (the
+// instrument fields are guarded by the same lock until handed out).
+func (r *Registry) registerLocked(name string, labels Labels, kind Kind) *metric {
+	key := sampleKey(name, labels)
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: labels, kind: kind}
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. Repeated registration returns the same instrument.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.registerLocked(name, labels, KindCounter)
+	if m.counter == nil && m.counterFn == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// CounterFunc registers a read-through counter whose value is sampled from
+// fn at snapshot time — the bridge for components that keep their own
+// hot-path counters (BTB, caches, traffic) and expose them uniformly here.
+func (r *Registry) CounterFunc(name string, labels Labels, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.registerLocked(name, labels, KindCounter)
+	m.counterFn = fn
+	m.counter = nil
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.registerLocked(name, labels, KindGauge)
+	if m.gauge == nil && m.gaugeFn == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a read-through gauge sampled from fn at snapshot time.
+func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.registerLocked(name, labels, KindGauge)
+	m.gaugeFn = fn
+	m.gauge = nil
+}
+
+// Distribution returns the distribution registered under (name, labels).
+func (r *Registry) Distribution(name string, labels Labels) *Distribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.registerLocked(name, labels, KindDistribution)
+	if m.dist == nil {
+		m.dist = &Distribution{}
+	}
+	return m.dist
+}
+
+// Sample is one metric's value at snapshot time.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels Labels  `json:"labels,omitempty"`
+	Kind   Kind    `json:"kind"`
+	Value  float64 `json:"value"`
+	// Count/Min/Max/Mean carry distribution detail (zero otherwise).
+	Count uint64  `json:"count,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Key returns the sample's canonical identity, name{k=v,...}.
+func (s Sample) Key() string { return sampleKey(s.Name, s.Labels) }
+
+// Snapshot is a deterministic (sorted by key) point-in-time reading of a
+// registry.
+type Snapshot []Sample
+
+// Snapshot reads every registered metric. The result is sorted by key so
+// two snapshots of identical state are byte-identical when serialized.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, 0, len(r.order))
+	for _, key := range r.order {
+		m := r.metrics[key]
+		s := Sample{Name: m.name, Labels: m.labels, Kind: m.kind}
+		switch {
+		case m.counterFn != nil:
+			s.Value = float64(m.counterFn())
+		case m.counter != nil:
+			s.Value = float64(m.counter.Value())
+		case m.gaugeFn != nil:
+			s.Value = m.gaugeFn()
+		case m.gauge != nil:
+			s.Value = m.gauge.Value()
+		case m.dist != nil:
+			s.Value = m.dist.Mean()
+			s.Count = m.dist.count
+			s.Min = m.dist.min
+			s.Max = m.dist.max
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Values flattens the snapshot to key → value (distributions report their
+// mean) — the form stored per simulation cell and exported in result
+// documents.
+func (s Snapshot) Values() map[string]float64 {
+	out := make(map[string]float64, len(s))
+	for _, smp := range s {
+		out[smp.Key()] = smp.Value
+	}
+	return out
+}
+
+// Get returns the sample with the given key, if present.
+func (s Snapshot) Get(key string) (Sample, bool) {
+	for _, smp := range s {
+		if smp.Key() == key {
+			return smp, true
+		}
+	}
+	return Sample{}, false
+}

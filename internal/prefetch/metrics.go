@@ -1,0 +1,21 @@
+package prefetch
+
+import "ignite/internal/obs"
+
+// RegisterMetrics exposes Jukebox's record/replay statistics through the
+// obs registry as read-through sources.
+func (j *Jukebox) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	l := labels.With("component", "jukebox")
+	reg.CounterFunc("jukebox.regions_recorded", l, func() uint64 { return uint64(j.RegionsRecorded) })
+	reg.CounterFunc("jukebox.regions_dropped", l, func() uint64 { return uint64(j.RegionsDropped) })
+	reg.CounterFunc("jukebox.lines_prefetched", l, func() uint64 { return uint64(j.LinesPrefetched) })
+}
+
+// RegisterMetrics exposes Confluence's prefetch statistics through the obs
+// registry as read-through sources.
+func (c *Confluence) RegisterMetrics(reg *obs.Registry, labels obs.Labels) {
+	l := labels.With("component", "confluence")
+	reg.CounterFunc("confluence.triggers", l, func() uint64 { return uint64(c.Triggers) })
+	reg.CounterFunc("confluence.lines_prefetched", l, func() uint64 { return uint64(c.LinesPrefetched) })
+	reg.CounterFunc("confluence.btb_fills", l, func() uint64 { return uint64(c.BTBFills) })
+}

@@ -12,7 +12,7 @@ import (
 // pages and metadata traffic, all through the public wiring.
 func TestIgniteEndToEndEffects(t *testing.T) {
 	s := spec(t)
-	setup, err := New(s, KindIgnite, Tweaks{})
+	setup, err := New(s, KindIgnite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestIgniteReducesAllThreeMissClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := NewWithProgram(s, prog, KindNL, Tweaks{})
+	base, err := NewWithProgram(s, prog, KindNL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestIgniteReducesAllThreeMissClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	igSetup, err := NewWithProgram(s, prog, KindIgnite, Tweaks{})
+	igSetup, err := NewWithProgram(s, prog, KindIgnite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestBackToBackBeatsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2bSetup, err := NewWithProgram(s, prog, KindNL, Tweaks{})
+	b2bSetup, err := NewWithProgram(s, prog, KindNL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestBackToBackBeatsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	igSetup, err := NewWithProgram(s, prog, KindIgnite, Tweaks{})
+	igSetup, err := NewWithProgram(s, prog, KindIgnite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestBackToBackBeatsEverything(t *testing.T) {
 // TestThrottleTweakWired verifies the ablation plumbing reaches the replay.
 func TestThrottleTweakWired(t *testing.T) {
 	s := spec(t)
-	setup, err := New(s, KindIgnite, Tweaks{ThrottleThreshold: 64, MetadataBytes: 16 << 10})
+	setup, err := New(s, KindIgnite, WithThrottleThreshold(64), WithMetadataBytes(16<<10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestThrottleTweakWired(t *testing.T) {
 // TestBTBEntriesTweakWired verifies the BTB-capacity override.
 func TestBTBEntriesTweakWired(t *testing.T) {
 	s := spec(t)
-	setup, err := New(s, KindNL, Tweaks{BTBEntries: 6144})
+	setup, err := New(s, KindNL, WithBTBEntries(6144))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/obs"
+)
+
+// Option configures a Setup under construction. Options replace the old
+// positional Tweaks argument: callers state only the knobs they change.
+type Option func(*settings)
+
+// settings is the resolved option set. Tweaks remains the internal carrier
+// so the experiment layer can keep canonical tweak-based cache keys.
+type settings struct {
+	tw     Tweaks
+	tracer obs.Tracer
+}
+
+func applyOptions(opts []Option) settings {
+	var s settings
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	return s
+}
+
+// WithKeep preserves extra structures across the thrash (Figs 4, 5).
+func WithKeep(k lukewarm.Preserve) Option {
+	return func(s *settings) { s.tw.Keep = k }
+}
+
+// WithBIMPolicy overrides Ignite's bimodal initialization policy (Fig 11).
+func WithBIMPolicy(p ignite.BIMPolicy) Option {
+	return func(s *settings) { s.tw.BIMPolicy = &p }
+}
+
+// WithDoubleBuffer records while replaying — the worst-case metadata
+// bandwidth configuration of Figure 10.
+func WithDoubleBuffer() Option {
+	return func(s *settings) { s.tw.DoubleBuffer = true }
+}
+
+// WithThrottleThreshold overrides Ignite's replay throttle (Fig abl).
+func WithThrottleThreshold(n int) Option {
+	return func(s *settings) { s.tw.ThrottleThreshold = n }
+}
+
+// WithMetadataBytes overrides Ignite's metadata budget.
+func WithMetadataBytes(n int) Option {
+	return func(s *settings) { s.tw.MetadataBytes = n }
+}
+
+// WithBTBEntries overrides the BTB capacity (default 12K entries).
+func WithBTBEntries(n int) Option {
+	return func(s *settings) { s.tw.BTBEntries = n }
+}
+
+// WithTracer installs an obs.Tracer on the setup's engine, receiving
+// invocation and replay lifecycle events.
+func WithTracer(t obs.Tracer) Option {
+	return func(s *settings) { s.tracer = t }
+}
+
+// WithTweaks applies a whole Tweaks bundle at once.
+//
+// Deprecated: new code should use the individual With* options; this bridge
+// exists for callers (such as the experiment cell cache) that carry Tweaks
+// values as canonical, comparable configuration keys.
+func WithTweaks(tw Tweaks) Option {
+	return func(s *settings) {
+		if tw.Keep != (lukewarm.Preserve{}) {
+			s.tw.Keep = tw.Keep
+		}
+		if tw.BIMPolicy != nil {
+			s.tw.BIMPolicy = tw.BIMPolicy
+		}
+		if tw.DoubleBuffer {
+			s.tw.DoubleBuffer = true
+		}
+		if tw.ThrottleThreshold != 0 {
+			s.tw.ThrottleThreshold = tw.ThrottleThreshold
+		}
+		if tw.MetadataBytes != 0 {
+			s.tw.MetadataBytes = tw.MetadataBytes
+		}
+		if tw.BTBEntries != 0 {
+			s.tw.BTBEntries = tw.BTBEntries
+		}
+	}
+}

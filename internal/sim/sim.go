@@ -13,6 +13,7 @@ import (
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 	"ignite/internal/prefetch"
 	"ignite/internal/workload"
 )
@@ -94,16 +95,36 @@ type Setup struct {
 }
 
 // New builds the setup for a workload under the named configuration.
-func New(spec workload.Spec, kind Kind, tw Tweaks) (*Setup, error) {
+// Behaviour is adjusted through functional options: for example
+//
+//	sim.New(spec, sim.KindIgnite, sim.WithBTBEntries(2048), sim.WithDoubleBuffer())
+func New(spec workload.Spec, kind Kind, opts ...Option) (*Setup, error) {
 	prog, _, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
-	return NewWithProgram(spec, prog, kind, tw)
+	return NewWithProgram(spec, prog, kind, opts...)
+}
+
+// NewFromTweaks is New with the pre-options positional Tweaks argument.
+//
+// Deprecated: use New with With* options (or WithTweaks for a bundle).
+func NewFromTweaks(spec workload.Spec, kind Kind, tw Tweaks) (*Setup, error) {
+	return New(spec, kind, WithTweaks(tw))
+}
+
+// NewProgramFromTweaks is NewWithProgram with the pre-options positional
+// Tweaks argument.
+//
+// Deprecated: use NewWithProgram with With* options.
+func NewProgramFromTweaks(spec workload.Spec, prog *cfg.Program, kind Kind, tw Tweaks) (*Setup, error) {
+	return NewWithProgram(spec, prog, kind, WithTweaks(tw))
 }
 
 // NewWithProgram is New for a pre-built program (reuse across setups).
-func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, tw Tweaks) (*Setup, error) {
+func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, opts ...Option) (*Setup, error) {
+	set := applyOptions(opts)
+	tw := set.tw
 	ec := engine.DefaultConfig()
 	ec.Data = spec.Data
 	if tw.BTBEntries > 0 {
@@ -150,6 +171,9 @@ func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, tw Tweaks)
 	}
 
 	eng := engine.New(prog, ec)
+	if set.tracer != nil {
+		eng.SetTracer(set.tracer)
+	}
 	s := &Setup{
 		Kind:  kind,
 		Spec:  spec,
@@ -194,6 +218,25 @@ type igniteMechanism struct{ ig *ignite.Ignite }
 func (m igniteMechanism) StartRecord() { m.ig.StartRecord() }
 func (m igniteMechanism) StopRecord()  { m.ig.StopRecord() }
 func (m igniteMechanism) ArmReplay()   { m.ig.ArmReplay() }
+
+// RegisterMetrics registers the setup's engine metrics plus those of every
+// attached mechanism into reg. Labels carry only component dimensions: a
+// registry is scoped to one (workload, config) cell, whose identity the
+// caller tracks (per-cell snapshots are keyed by cell in the exported
+// documents).
+func (s *Setup) RegisterMetrics(reg *obs.Registry) {
+	var labels obs.Labels
+	s.Eng.RegisterMetrics(reg, labels)
+	if s.Ignite != nil {
+		s.Ignite.RegisterMetrics(reg, labels)
+	}
+	if s.Jukebox != nil {
+		s.Jukebox.RegisterMetrics(reg, labels)
+	}
+	if s.Confluence != nil {
+		s.Confluence.RegisterMetrics(reg, labels)
+	}
+}
 
 // Run executes the lukewarm protocol in the given mode.
 func (s *Setup) Run(mode lukewarm.Mode) (*lukewarm.Result, error) {

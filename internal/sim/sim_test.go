@@ -26,7 +26,7 @@ func TestAllKindsBuildAndRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range Kinds() {
-		setup, err := NewWithProgram(s, prog, k, Tweaks{})
+		setup, err := NewWithProgram(s, prog, k)
 		if err != nil {
 			t.Fatalf("%s: %v", k, err)
 		}
@@ -42,7 +42,7 @@ func TestAllKindsBuildAndRun(t *testing.T) {
 
 func TestUnknownKindRejected(t *testing.T) {
 	s := spec(t)
-	if _, err := New(s, Kind("bogus"), Tweaks{}); err == nil {
+	if _, err := New(s, Kind("bogus")); err == nil {
 		t.Error("accepted unknown kind")
 	}
 }
@@ -68,7 +68,7 @@ func TestKindWiring(t *testing.T) {
 		{KindConfluenceIgnite, false, false, false, true, true},
 	}
 	for _, c := range cases {
-		st, err := NewWithProgram(s, prog, c.kind, Tweaks{})
+		st, err := NewWithProgram(s, prog, c.kind)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +84,7 @@ func TestKindWiring(t *testing.T) {
 
 func TestIdealImpliesWarmCBP(t *testing.T) {
 	s := spec(t)
-	st, err := New(s, KindIdeal, Tweaks{})
+	st, err := New(s, KindIdeal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestIdealImpliesWarmCBP(t *testing.T) {
 
 func TestIgniteTAGEPreservesTage(t *testing.T) {
 	s := spec(t)
-	st, err := New(s, KindIgniteTAGE, Tweaks{})
+	st, err := New(s, KindIgniteTAGE)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestIgniteTAGEPreservesTage(t *testing.T) {
 func TestBIMPolicyTweak(t *testing.T) {
 	s := spec(t)
 	pol := ignite.BIMWeaklyNotTaken
-	st, err := New(s, KindIgnite, Tweaks{BIMPolicy: &pol})
+	st, err := New(s, KindIgnite, WithBIMPolicy(pol))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestHeadlineOrdering(t *testing.T) {
 	}
 	cpi := map[Kind]float64{}
 	for _, k := range []Kind{KindNL, KindBoomerangJB, KindIgnite, KindIdeal} {
-		setup, err := NewWithProgram(s, prog, k, Tweaks{})
+		setup, err := NewWithProgram(s, prog, k)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -18,6 +18,22 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{title: title, header: header}
 }
 
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a copy of the formatted rows — the machine-readable form the
+// result exporters serialize (String renders the human-readable one).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // AddRow appends a row of cells. Non-string cells may be added with AddRowf.
 func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, cells)

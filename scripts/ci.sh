@@ -9,3 +9,28 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Examples are real programs, not documentation snippets: they must keep
+# compiling against the current API (the quickstart and observability
+# examples are the first thing a reader runs).
+for ex in examples/*/; do
+  go build -o /dev/null "./${ex%/}"
+done
+
+# JSON export smoke: one tiny experiment through ignite-bench, exported as a
+# versioned result document, decoded back by the same schema the golden test
+# pins. Artifacts land in a scratch dir so CI runs leave the tree clean.
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+go build -o "$smoke/ignite-bench" ./cmd/ignite-bench
+(
+  cd "$smoke"
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G -target-instr 200000 -json -out results \
+    >/dev/null
+  test -s BENCH.json
+  test -s results/fig1.json
+  grep -q '"schemaVersion": 1' results/fig1.json
+  grep -q '"kind": "ignite.experiment-result"' results/fig1.json
+)
+echo "ci: ok (build, vet, race tests, examples, JSON export smoke)"
