@@ -300,6 +300,30 @@ func (b *BTB) Snapshot() *Snapshot {
 	return &Snapshot{ways: cp}
 }
 
+// ContentEqual reports whether two snapshots hold the same architectural
+// contents: identical (valid, tag, target, kind, restored, vmID) per way.
+// Recency (lastUse) is ignored — it is replacement heuristic state, not
+// content, and legitimately differs between two replays of the same stream.
+func (s *Snapshot) ContentEqual(o *Snapshot) bool {
+	if len(s.ways) != len(o.ways) {
+		return false
+	}
+	for i := range s.ways {
+		a, b := &s.ways[i], &o.ways[i]
+		if a.valid != b.valid {
+			return false
+		}
+		if !a.valid {
+			continue
+		}
+		if a.tag != b.tag || a.target != b.target || a.kind != b.kind ||
+			a.restored != b.restored || a.vmID != b.vmID {
+			return false
+		}
+	}
+	return true
+}
+
 // Restore reinstates a snapshot taken from an identically configured BTB.
 func (b *BTB) Restore(snap *Snapshot) {
 	if len(snap.ways) != len(b.ways) {

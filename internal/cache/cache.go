@@ -282,6 +282,40 @@ func (c *Cache) SweepUnused() int {
 	return n
 }
 
+// Invalidate removes addr's line if resident, returning whether a line was
+// dropped. Used for inclusion-maintaining back-invalidation: when an outer
+// level evicts a line, inner copies must go too. An untouched
+// prefetched/restored line counts as unused, exactly as in an eviction.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			if !ln.touched && ln.prov != ProvDemand {
+				c.stats.PrefetchUnused.Inc()
+			}
+			*ln = line{}
+			return true
+		}
+	}
+	return false
+}
+
+// Lines returns the line addresses of every valid line, in set order — the
+// iteration surface the inclusion invariant (internal/check) audits.
+func (c *Cache) Lines() []uint64 {
+	out := make([]uint64, 0, 64)
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if !ln.valid {
+			continue
+		}
+		setIdx := uint64(i/c.cfg.Ways) & c.setMask
+		out = append(out, (ln.tag<<c.setBits|setIdx)<<c.lineBits)
+	}
+	return out
+}
+
 // ResetStats clears counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 

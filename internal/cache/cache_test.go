@@ -194,3 +194,57 @@ func TestProvenanceString(t *testing.T) {
 		}
 	}
 }
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache(t)
+	c.Insert(0x100, ProvDemand)
+	if !c.Invalidate(0x100) {
+		t.Fatal("Invalidate missed a resident line")
+	}
+	if c.Contains(0x100) || c.Occupancy() != 0 {
+		t.Error("line survived invalidation")
+	}
+	if c.Invalidate(0x100) {
+		t.Error("Invalidate reported dropping an absent line")
+	}
+
+	// An untouched prefetched line counts as unused, like an eviction.
+	c.Insert(0x200, ProvPrefetch)
+	before := c.Stats().PrefetchUnused.Value()
+	c.Invalidate(0x200)
+	if c.Stats().PrefetchUnused.Value() != before+1 {
+		t.Error("untouched prefetch invalidation not counted as unused")
+	}
+	// A demand-touched prefetched line does not.
+	c.Insert(0x300, ProvPrefetch)
+	c.Access(0x300, true)
+	before = c.Stats().PrefetchUnused.Value()
+	c.Invalidate(0x300)
+	if c.Stats().PrefetchUnused.Value() != before {
+		t.Error("touched prefetch invalidation counted as unused")
+	}
+}
+
+func TestLinesReconstructsAddresses(t *testing.T) {
+	c := smallCache(t)
+	want := map[uint64]bool{}
+	// Spread lines across sets (8 sets x 2 ways here).
+	for i := uint64(0); i < 12; i++ {
+		la := i * 64 * 3 // varied set/tag mix, line-aligned after LineAddr
+		la = c.LineAddr(la)
+		c.Insert(la, ProvDemand)
+		want[la] = true
+	}
+	got := c.Lines()
+	if len(got) != c.Occupancy() {
+		t.Fatalf("Lines returned %d entries, occupancy is %d", len(got), c.Occupancy())
+	}
+	for _, la := range got {
+		if !c.Contains(la) {
+			t.Errorf("Lines reported %#x but Contains denies it", la)
+		}
+		if !want[la] {
+			t.Errorf("Lines reported %#x which was never inserted", la)
+		}
+	}
+}

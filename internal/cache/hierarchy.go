@@ -157,6 +157,18 @@ func (h *Hierarchy) Stats() *HierStats { return &h.stats }
 // SetTracker installs (or clears) the traffic tracker.
 func (h *Hierarchy) SetTracker(t Tracker) { h.tracker = t }
 
+// insertL2 fills the L2 and maintains inclusion: the L2 is inclusive of
+// both L1s, so a line displaced from the L2 must be dropped from the L1s
+// too (back-invalidation). Without this, a hot line resident in the L1-I —
+// whose hits never refresh its L2 recency — could outlive its L2 copy,
+// silently breaking the inclusion law the paper's hierarchy assumes.
+func (h *Hierarchy) insertL2(la uint64, prov Provenance) {
+	if ev, ok := h.L2.Insert(la, prov); ok {
+		h.L1I.Invalidate(ev.LineAddr)
+		h.L1D.Invalidate(ev.LineAddr)
+	}
+}
+
 // FetchInstr performs a demand instruction fetch of the line containing
 // addr, filling missing levels on the way. wrongPath marks fetches issued
 // beyond a front-end divergence. It returns the access latency, the level
@@ -194,7 +206,7 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 	h.stats.InstrL2Misses.Inc()
 
 	if res := h.LLC.Access(la, true); res.Hit {
-		h.L2.Insert(la, prov)
+		h.insertL2(la, prov)
 		h.L1I.Insert(la, prov)
 		if !wrongPath && h.tracker != nil {
 			h.tracker.DemandTouch(la)
@@ -211,7 +223,7 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 		}
 	}
 	h.LLC.Insert(la, prov)
-	h.L2.Insert(la, prov)
+	h.insertL2(la, prov)
 	h.L1I.Insert(la, prov)
 	return h.Lat.Mem, LvlMem, false
 }
@@ -256,11 +268,11 @@ func (h *Hierarchy) PrefetchInstr(addr uint64, src Source, into Level) (from Lev
 	}
 	if into == LvlL1I {
 		if from == LvlMem || from == LvlLLC {
-			h.L2.Insert(la, prov)
+			h.insertL2(la, prov)
 		}
 		h.L1I.Insert(la, prov)
 	} else if into == LvlL2 {
-		h.L2.Insert(la, prov)
+		h.insertL2(la, prov)
 	}
 	if h.tracker != nil {
 		h.tracker.Inserted(la, src, into)
@@ -282,7 +294,7 @@ func (h *Hierarchy) AccessData(addr uint64) (lat int, lvl Level) {
 		return h.Lat.L2, LvlL2
 	}
 	if res := h.LLC.Access(la, true); res.Hit {
-		h.L2.Insert(la, ProvDemand)
+		h.insertL2(la, ProvDemand)
 		h.L1D.Insert(la, ProvDemand)
 		return h.Lat.LLC, LvlLLC
 	}
@@ -291,7 +303,7 @@ func (h *Hierarchy) AccessData(addr uint64) (lat int, lvl Level) {
 		h.tracker.MemFetch(la, SrcData)
 	}
 	h.LLC.Insert(la, ProvDemand)
-	h.L2.Insert(la, ProvDemand)
+	h.insertL2(la, ProvDemand)
 	h.L1D.Insert(la, ProvDemand)
 	return h.Lat.Mem, LvlMem
 }
@@ -309,7 +321,7 @@ func (h *Hierarchy) PrefetchData(addr uint64) {
 		}
 		h.LLC.Insert(la, ProvPrefetch)
 	}
-	h.L2.Insert(la, ProvPrefetch)
+	h.insertL2(la, ProvPrefetch)
 	h.L1D.Insert(la, ProvPrefetch)
 }
 

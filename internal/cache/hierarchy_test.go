@@ -167,6 +167,67 @@ func TestHierStatsMPKIInputs(t *testing.T) {
 	}
 }
 
+// tinyHierarchy builds a hierarchy with a 2-set x 2-way L2 so a handful of
+// fetches force L2 evictions while the L1-I still has room.
+func tinyHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I: MustNew(Config{Name: "L1I", SizeBytes: 16 * 64, LineBytes: 64, Ways: 16, HitLatency: 1}),
+		L1D: MustNew(Config{Name: "L1D", SizeBytes: 16 * 64, LineBytes: 64, Ways: 16, HitLatency: 4}),
+		L2:  MustNew(Config{Name: "L2", SizeBytes: 4 * 64, LineBytes: 64, Ways: 2, HitLatency: 13}),
+		LLC: MustNew(Config{Name: "LLC", SizeBytes: 64 * 64, LineBytes: 64, Ways: 4, HitLatency: 50}),
+		Lat: DefaultLatencies(),
+	}
+}
+
+func TestL2EvictionBackInvalidatesL1(t *testing.T) {
+	// Regression: L1-I hits never refresh a line's L2 recency, so a hot
+	// L1-I line could be evicted from the (inclusive) L2 and live on in the
+	// L1-I. insertL2 must back-invalidate the displaced line from both L1s.
+	h := tinyHierarchy()
+	hot := uint64(0x0) // L2 set 0 (even line index)
+	h.FetchInstr(hot, false)
+	if !h.L1I.Contains(hot) || !h.L2.Contains(hot) {
+		t.Fatal("hot line not filled")
+	}
+	// Keep the line hot in the L1-I only.
+	for i := 0; i < 4; i++ {
+		if _, lvl, _ := h.FetchInstr(hot, false); lvl != LvlL1I {
+			t.Fatalf("hot fetch served from %v", lvl)
+		}
+	}
+	// Two more even-indexed lines overflow L2 set 0 (2 ways), evicting the
+	// LRU line — the hot one, whose L2 recency was never refreshed.
+	h.FetchInstr(0x80, false)
+	h.FetchInstr(0x100, false)
+	if h.L2.Contains(hot) {
+		t.Fatal("test premise broken: hot line still in L2")
+	}
+	if h.L1I.Contains(hot) {
+		t.Error("L2 eviction left a stale copy in the L1-I (inclusion violated)")
+	}
+	for _, la := range h.L1I.Lines() {
+		if !h.L2.Contains(la) {
+			t.Errorf("L1-I line %#x not resident in L2", la)
+		}
+	}
+
+	// Same law on the data side.
+	hd := tinyHierarchy()
+	hotD := uint64(0x40) // L2 set 1 (odd line index)
+	hd.AccessData(hotD)
+	for i := 0; i < 4; i++ {
+		hd.AccessData(hotD)
+	}
+	hd.AccessData(0xc0)
+	hd.AccessData(0x140)
+	if hd.L2.Contains(hotD) {
+		t.Fatal("test premise broken: hot data line still in L2")
+	}
+	if hd.L1D.Contains(hotD) {
+		t.Error("L2 eviction left a stale copy in the L1-D (inclusion violated)")
+	}
+}
+
 func TestLevelAndSourceStrings(t *testing.T) {
 	if LvlL1I.String() != "L1I" || LvlMem.String() != "Mem" {
 		t.Error("Level.String broken")

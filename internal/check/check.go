@@ -1,0 +1,411 @@
+// Package check is the simulation verifier: it audits conservation laws the
+// simulator must obey on every invocation (CPI-stack accounting, cache
+// lookup balance, BTB restored-entry tracking, replay metadata bandwidth,
+// L1-I/L2 inclusion, clock monotonicity) and aggregate laws over a finished
+// protocol result. The reproduction's figures are causal stories about
+// exposed miss latency and resteers; a silent violation of any of these laws
+// corrupts every figure at once, so the verifier turns "silent" into a
+// structured, protocol-aborting error.
+//
+// The verifier has three consumers:
+//
+//   - sim.WithChecks (or the IGNITE_CHECKS environment gate) installs
+//     Invariants as the engine's post-invocation check, so every invocation
+//     of every cell is audited while experiments run;
+//   - internal/check/props runs metamorphic properties (determinism,
+//     idempotence, monotonicity, ordering) over small workloads;
+//   - the mutation smoke in this package's tests breaks each law on purpose
+//     and asserts the checker catches it, so the verifier itself cannot rot.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ignite/internal/engine"
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/stats"
+)
+
+// EnvVar gates runtime invariant checking in CI: any value other than
+// empty, "0" or "false" enables checks in every sim.Setup built while it is
+// set (see sim.WithChecks for per-setup control).
+const EnvVar = "IGNITE_CHECKS"
+
+// EnvEnabled reports whether the environment requests invariant checking.
+func EnvEnabled() bool {
+	v := os.Getenv(EnvVar)
+	return v != "" && v != "0" && !strings.EqualFold(v, "false")
+}
+
+// Violation is a structured invariant failure: which law broke, a
+// human-readable account, and the metric snapshot that witnessed it.
+type Violation struct {
+	// Invariant names the broken law (one of Names()).
+	Invariant string
+	// Detail explains the violation in terms of the snapshot values.
+	Detail string
+	// Metrics carries the values the law was evaluated over.
+	Metrics map[string]float64
+}
+
+func (v *Violation) Error() string {
+	keys := make([]string, 0, len(v.Metrics))
+	for k := range v.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: invariant %q violated: %s", v.Invariant, v.Detail)
+	if len(keys) > 0 {
+		sb.WriteString(" [")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s=%g", k, v.Metrics[k])
+		}
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// Probe is a flattened snapshot of everything the per-invocation laws
+// inspect. Invariants fills it from a live engine; the mutation smoke
+// constructs (and corrupts) probes directly.
+type Probe struct {
+	// Per-invocation accounting.
+	Cycles float64
+	Stack  stats.CPIStack
+
+	// Cumulative engine-lifetime counters (reset only by ResetStats,
+	// which the protocol never calls mid-run, so balances hold at every
+	// invocation boundary).
+	HierInstrFetches uint64
+	L1IAccesses      uint64
+	L1IHits          uint64
+	L1IMisses        uint64
+
+	// BTB restored-entry tracking (Ignite's throttle input).
+	BTBRestoredInserts   uint64
+	BTBRestoredUntouched int
+	BTBOccupancy         int
+	BTBEntries           int
+
+	// Replay metadata accounting; valid only when ReplayAttached.
+	ReplayAttached      bool
+	ReplayBytesRead     int
+	ReplayBytesRecorded int
+
+	// Inclusion audit surface: every L1-I line must be covered by
+	// L2Contains. A nil L2Contains skips the law (no hierarchy attached).
+	L1ILines   []uint64
+	L2Contains func(lineAddr uint64) bool
+
+	// Engine clock at this and the previous audit point.
+	Now     uint64
+	PrevNow uint64
+}
+
+// law is one per-invocation conservation law.
+type law struct {
+	name  string
+	check func(Probe) *Violation
+}
+
+// floatEq compares float64 accumulations with relative tolerance: the
+// quantities are sums of identical terms computed in identical order, so the
+// tolerance only needs to absorb representation noise, not reordering.
+func floatEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	} else if -b > m {
+		m = -b
+	}
+	return d <= 1e-9*m+1e-9
+}
+
+var laws = []law{
+	{"cpi-stack-sum", func(p Probe) *Violation {
+		if floatEq(p.Cycles, p.Stack.Total()) {
+			return nil
+		}
+		return &Violation{
+			Invariant: "cpi-stack-sum",
+			Detail:    "CPI-stack components do not sum to total cycles",
+			Metrics: map[string]float64{
+				"cycles": p.Cycles, "stack_total": p.Stack.Total(),
+				"retiring": p.Stack.Retiring, "fetch": p.Stack.Fetch,
+				"badspec": p.Stack.BadSpec, "backend": p.Stack.Backend,
+			},
+		}
+	}},
+	{"cpi-components-nonneg", func(p Probe) *Violation {
+		if p.Cycles >= 0 && p.Stack.Retiring >= 0 && p.Stack.Fetch >= 0 &&
+			p.Stack.BadSpec >= 0 && p.Stack.Backend >= 0 {
+			return nil
+		}
+		return &Violation{
+			Invariant: "cpi-components-nonneg",
+			Detail:    "a CPI-stack component went negative",
+			Metrics: map[string]float64{
+				"cycles": p.Cycles, "retiring": p.Stack.Retiring,
+				"fetch": p.Stack.Fetch, "badspec": p.Stack.BadSpec,
+				"backend": p.Stack.Backend,
+			},
+		}
+	}},
+	{"fetch-lookup-balance", func(p Probe) *Violation {
+		if p.HierInstrFetches == p.L1IAccesses {
+			return nil
+		}
+		return &Violation{
+			Invariant: "fetch-lookup-balance",
+			Detail:    "hierarchy instruction fetches diverge from L1-I demand lookups",
+			Metrics: map[string]float64{
+				"hier_instr_fetches": float64(p.HierInstrFetches),
+				"l1i_accesses":       float64(p.L1IAccesses),
+			},
+		}
+	}},
+	{"l1i-hit-miss-balance", func(p Probe) *Violation {
+		if p.L1IHits+p.L1IMisses == p.L1IAccesses {
+			return nil
+		}
+		return &Violation{
+			Invariant: "l1i-hit-miss-balance",
+			Detail:    "L1-I hits + misses != demand lookups",
+			Metrics: map[string]float64{
+				"l1i_hits": float64(p.L1IHits), "l1i_misses": float64(p.L1IMisses),
+				"l1i_accesses": float64(p.L1IAccesses),
+			},
+		}
+	}},
+	{"btb-restored-bounds", func(p Probe) *Violation {
+		ok := p.BTBRestoredUntouched >= 0 &&
+			uint64(p.BTBRestoredUntouched) <= p.BTBRestoredInserts &&
+			p.BTBRestoredUntouched <= p.BTBOccupancy &&
+			p.BTBOccupancy <= p.BTBEntries
+		if ok {
+			return nil
+		}
+		return &Violation{
+			Invariant: "btb-restored-bounds",
+			Detail:    "restored-untouched count escaped its bounds (0 <= untouched <= restored inserts, untouched <= occupancy <= capacity)",
+			Metrics: map[string]float64{
+				"restored_untouched": float64(p.BTBRestoredUntouched),
+				"restored_inserts":   float64(p.BTBRestoredInserts),
+				"occupancy":          float64(p.BTBOccupancy),
+				"entries":            float64(p.BTBEntries),
+			},
+		}
+	}},
+	{"replay-meta-bytes", func(p Probe) *Violation {
+		if !p.ReplayAttached {
+			return nil
+		}
+		if p.ReplayBytesRead >= 0 && p.ReplayBytesRead <= p.ReplayBytesRecorded {
+			return nil
+		}
+		return &Violation{
+			Invariant: "replay-meta-bytes",
+			Detail:    "replay consumed more metadata bytes than were recorded",
+			Metrics: map[string]float64{
+				"replay_bytes_read":     float64(p.ReplayBytesRead),
+				"replay_bytes_recorded": float64(p.ReplayBytesRecorded),
+			},
+		}
+	}},
+	{"l1i-l2-inclusion", func(p Probe) *Violation {
+		if p.L2Contains == nil {
+			return nil
+		}
+		for _, la := range p.L1ILines {
+			if !p.L2Contains(la) {
+				return &Violation{
+					Invariant: "l1i-l2-inclusion",
+					Detail:    fmt.Sprintf("L1-I line %#x is not resident in the (inclusive) L2", la),
+					Metrics: map[string]float64{
+						"line_addr": float64(la),
+						"l1i_lines": float64(len(p.L1ILines)),
+					},
+				}
+			}
+		}
+		return nil
+	}},
+	{"monotonic-clock", func(p Probe) *Violation {
+		ok := p.Now >= p.PrevNow && (p.Cycles < 1 || p.Now > p.PrevNow)
+		if ok {
+			return nil
+		}
+		return &Violation{
+			Invariant: "monotonic-clock",
+			Detail:    "engine clock failed to advance monotonically across the invocation",
+			Metrics: map[string]float64{
+				"now": float64(p.Now), "prev_now": float64(p.PrevNow),
+				"cycles": p.Cycles,
+			},
+		}
+	}},
+}
+
+// Names lists every per-invocation invariant, in evaluation order. The
+// mutation smoke iterates this list to prove each law actually fires.
+func Names() []string {
+	out := make([]string, len(laws))
+	for i, l := range laws {
+		out[i] = l.name
+	}
+	return out
+}
+
+// Verify evaluates every per-invocation law against the probe, returning
+// all violations joined (nil when every law holds).
+func Verify(p Probe) error {
+	var errs []error
+	for _, l := range laws {
+		if v := l.check(p); v != nil {
+			errs = append(errs, v)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Invariants audits a live engine after every invocation. Install with
+// engine.SetInvocationCheck (sim.WithChecks does this wiring).
+type Invariants struct {
+	eng     *engine.Engine
+	rep     *ignite.Replayer
+	prevNow uint64
+	audits  int
+}
+
+// New builds an invariant auditor over eng, anchored at the engine's
+// current clock.
+func New(eng *engine.Engine) *Invariants {
+	return &Invariants{eng: eng, prevNow: eng.Now()}
+}
+
+// AttachIgnite adds Ignite's replay metadata accounting to the audit.
+func (iv *Invariants) AttachIgnite(ig *ignite.Ignite) { iv.rep = ig.Replayer() }
+
+// Audits returns how many invocations have been verified.
+func (iv *Invariants) Audits() int { return iv.audits }
+
+// ProbeNow snapshots the engine into a Probe using st as the invocation
+// under audit. Exposed so tests can corrupt a real snapshot and prove the
+// engine-to-probe plumbing feeds each law.
+func (iv *Invariants) ProbeNow(st *engine.InvocationStats) Probe {
+	e := iv.eng
+	l1i := e.Hierarchy().L1I.Stats()
+	bs := e.BTB().Stats()
+	p := Probe{
+		Cycles:               st.Cycles,
+		Stack:                st.Stack,
+		HierInstrFetches:     e.Hierarchy().Stats().InstrFetches.Value(),
+		L1IAccesses:          l1i.Accesses.Value(),
+		L1IHits:              l1i.Hits.Value(),
+		L1IMisses:            l1i.Misses.Value(),
+		BTBRestoredInserts:   bs.RestoredInserts.Value(),
+		BTBRestoredUntouched: e.BTB().RestoredUntouched(),
+		BTBOccupancy:         e.BTB().Occupancy(),
+		BTBEntries:           e.BTB().Config().Entries,
+		L1ILines:             e.Hierarchy().L1I.Lines(),
+		L2Contains:           e.Hierarchy().L2.Contains,
+		Now:                  e.Now(),
+		PrevNow:              iv.prevNow,
+	}
+	if iv.rep != nil {
+		p.ReplayAttached = true
+		p.ReplayBytesRead = iv.rep.BytesRead()
+		p.ReplayBytesRecorded = iv.rep.RegionUsed()
+	}
+	return p
+}
+
+// CheckInvocation is the engine post-invocation hook: snapshot, verify,
+// advance the clock anchor. The anchor advances even on failure so one
+// violation does not cascade into spurious clock reports.
+func (iv *Invariants) CheckInvocation(st *engine.InvocationStats) error {
+	p := iv.ProbeNow(st)
+	iv.prevNow = iv.eng.Now()
+	iv.audits++
+	return Verify(p)
+}
+
+// VerifyResult audits the aggregate laws of a finished protocol result:
+// the run measured something, its cycle total matches the per-invocation
+// stacks, and the mean traffic lies within the per-invocation envelope.
+func VerifyResult(res *lukewarm.Result) error {
+	var errs []error
+	if res.Instrs() == 0 || len(res.PerInvocation) == 0 {
+		errs = append(errs, &Violation{
+			Invariant: "result-nonempty",
+			Detail:    "protocol result measured no instructions",
+			Metrics: map[string]float64{
+				"instrs":      float64(res.Instrs()),
+				"invocations": float64(len(res.PerInvocation)),
+			},
+		})
+	}
+	if len(res.Traffic) != len(res.PerInvocation) {
+		errs = append(errs, &Violation{
+			Invariant: "result-traffic-per-invocation",
+			Detail:    "traffic reports and measured invocations disagree in count",
+			Metrics: map[string]float64{
+				"traffic_reports": float64(len(res.Traffic)),
+				"invocations":     float64(len(res.PerInvocation)),
+			},
+		})
+	}
+	var stackSum float64
+	for _, st := range res.PerInvocation {
+		stackSum += st.Stack.Total()
+	}
+	if !floatEq(res.Cycles(), stackSum) {
+		errs = append(errs, &Violation{
+			Invariant: "result-cycles-sum",
+			Detail:    "aggregate cycles diverge from the summed CPI stacks",
+			Metrics: map[string]float64{
+				"cycles": res.Cycles(), "stack_sum": stackSum,
+			},
+		})
+	}
+	if len(res.Traffic) > 0 {
+		mean := res.MeanTraffic().Total()
+		lo, hi := res.Traffic[0].Total(), res.Traffic[0].Total()
+		for _, t := range res.Traffic[1:] {
+			if v := t.Total(); v < lo {
+				lo = v
+			} else if v > hi {
+				hi = v
+			}
+		}
+		// Half-up rounding happens per field, so the total can exceed a
+		// single field's bound by at most one byte per field.
+		const slack = 4
+		if mean+slack < lo || mean > hi+slack {
+			errs = append(errs, &Violation{
+				Invariant: "result-meantraffic-bound",
+				Detail:    "mean traffic fell outside the per-invocation min/max envelope",
+				Metrics: map[string]float64{
+					"mean": float64(mean), "min": float64(lo), "max": float64(hi),
+				},
+			})
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,57 @@
+package props_test
+
+import (
+	"testing"
+
+	"ignite/internal/check/props"
+	"ignite/internal/workload"
+)
+
+// propSpec returns a shrunk copy of the named workload: the properties
+// compare whole runs against each other, so absolute scale does not matter.
+func propSpec(t testing.TB, name string, shrink uint64) workload.Spec {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TargetInstr /= shrink
+	return spec
+}
+
+func TestProperties(t *testing.T) {
+	specs := []workload.Spec{
+		propSpec(t, "Fib-G", 4),
+		propSpec(t, "Auth-G", 4),
+	}
+	for _, p := range props.All() {
+		for _, spec := range specs {
+			p, spec := p, spec
+			t.Run(p.Name+"/"+spec.Name, func(t *testing.T) {
+				t.Parallel()
+				if err := p.Run(spec); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// FuzzProperties perturbs the workload generator seed: the cheap properties
+// (determinism, replay idempotence) must hold for every program the
+// generator can produce, not just the catalog's seeds.
+func FuzzProperties(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(303))
+	f.Add(uint64(0xdeadbeef))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		spec := propSpec(t, "Fib-G", 8)
+		spec.Gen.Seed = seed
+		if err := props.Determinism(spec); err != nil {
+			t.Error(err)
+		}
+		if err := props.ReplayIdempotence(spec); err != nil {
+			t.Error(err)
+		}
+	})
+}

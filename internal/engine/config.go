@@ -66,6 +66,10 @@ type Config struct {
 	BTB  btb.Config
 	ITLB tlb.Config
 	Lat  cache.Latencies
+	// L2SizeBytes overrides the L2 capacity (0 = Table 2's 1280 KiB).
+	// The hierarchy keeps its 20-way geometry, so the size must leave a
+	// power-of-two set count (320/640/1280/2560... KiB).
+	L2SizeBytes int
 
 	// Data-side model.
 	Data DataConfig

@@ -47,6 +47,12 @@ type Engine struct {
 	// event construction — see the nil checks at every emission site.
 	tracer obs.Tracer
 
+	// invocationCheck, when set, audits the engine after every completed
+	// invocation (the internal/check invariant verifier). A non-nil error
+	// fails RunInvocation, so a conservation-law violation aborts the
+	// protocol instead of silently corrupting downstream figures.
+	invocationCheck func(*InvocationStats) error
+
 	// now is the absolute cycle clock, monotonic across invocations;
 	// nowf carries the fractional part. fetchClock tracks front-end time
 	// only (base + fetch + speculation cycles, excluding back-end
@@ -108,6 +114,15 @@ func New(prog *cfg.Program, c Config) *Engine {
 		pendingLine: make(map[uint64]pendingFill),
 		seenPC:      make(map[uint64]uint32, 4096),
 	}
+	if c.L2SizeBytes > 0 {
+		e.hier.L2 = cache.MustNew(cache.Config{
+			Name:       "L2",
+			SizeBytes:  c.L2SizeBytes,
+			LineBytes:  cache.LineBytesConst,
+			Ways:       20,
+			HitLatency: c.Lat.L2,
+		})
+	}
 	e.emitStep = func(s cfg.Step) bool {
 		e.steps = append(e.steps, s)
 		return true
@@ -148,6 +163,13 @@ func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
 
 // Tracer returns the installed tracer (nil when tracing is off).
 func (e *Engine) Tracer() obs.Tracer { return e.tracer }
+
+// SetInvocationCheck installs a post-invocation auditor (nil disables it).
+// It runs after the invocation's stats are final and before RunInvocation
+// returns; an error it reports is returned to the caller.
+func (e *Engine) SetInvocationCheck(fn func(*InvocationStats) error) {
+	e.invocationCheck = fn
+}
 
 // AddCompanion attaches a companion prefetcher/restorer.
 func (e *Engine) AddCompanion(c Companion) {

@@ -206,6 +206,11 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 			Instrs: st.Instrs, Cycles: st.Cycles, CPI: st.CPI(),
 		})
 	}
+	if e.invocationCheck != nil {
+		if err := e.invocationCheck(st); err != nil {
+			return nil, fmt.Errorf("engine: invariant check after invocation (seed %d): %w", opt.Seed, err)
+		}
+	}
 	return st, nil
 }
 

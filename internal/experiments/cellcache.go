@@ -83,9 +83,9 @@ func tweakKey(tw sim.Tweaks) string {
 	if tw.BIMPolicy != nil {
 		bim = int(*tw.BIMPolicy)
 	}
-	return fmt.Sprintf("keep=%v,%v,%v|bim=%d|dbl=%v|thr=%d|meta=%d|btb=%d",
+	return fmt.Sprintf("keep=%v,%v,%v|bim=%d|dbl=%v|thr=%d|meta=%d|btb=%d|l2=%d",
 		tw.Keep.BTB, tw.Keep.BIM, tw.Keep.TAGE, bim,
-		tw.DoubleBuffer, tw.ThrottleThreshold, tw.MetadataBytes, tw.BTBEntries)
+		tw.DoubleBuffer, tw.ThrottleThreshold, tw.MetadataBytes, tw.BTBEntries, tw.L2KiB)
 }
 
 func cellKey(spec workload.Spec, rc runConfig) string {
@@ -109,9 +109,10 @@ func (cc *CellCache) program(spec workload.Spec) (*cfg.Program, error) {
 // cell returns the simulated (workload, config) cell, computing it at most
 // once per unique key. The second return reports whether the cell was served
 // from the cache (an entry another request already created). tracer, when
-// non-nil, is installed on freshly simulated cells' engines; it is not part
-// of the cache key because tracing never affects results.
-func (cc *CellCache) cell(spec workload.Spec, rc runConfig, tracer obs.Tracer) (*cell, bool, error) {
+// non-nil, is installed on freshly simulated cells' engines; checks enables
+// the invariant verifier on them. Neither is part of the cache key: tracing
+// and checking never affect results (a check can only abort the run).
+func (cc *CellCache) cell(spec workload.Spec, rc runConfig, tracer obs.Tracer, checks bool) (*cell, bool, error) {
 	key := cellKey(spec, rc)
 	cc.mu.Lock()
 	e, ok := cc.cells[key]
@@ -122,7 +123,7 @@ func (cc *CellCache) cell(spec workload.Spec, rc runConfig, tracer obs.Tracer) (
 		cc.hits++
 	}
 	cc.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc, tracer) })
+	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc, tracer, checks) })
 	return e.c, ok, e.err
 }
 
@@ -147,13 +148,16 @@ func (cc *CellCache) trace(prog *cfg.Program, specK string, seed, maxInstr uint6
 	return e.steps, e.res, e.err
 }
 
-func (cc *CellCache) compute(spec workload.Spec, rc runConfig, tracer obs.Tracer) (*cell, error) {
+func (cc *CellCache) compute(spec workload.Spec, rc runConfig, tracer obs.Tracer, checks bool) (*cell, error) {
 	prog, err := cc.program(spec)
 	if err != nil {
 		return nil, err
 	}
-	setup, err := sim.NewWithProgram(spec, prog, rc.Kind,
-		sim.WithTweaks(rc.Tweak), sim.WithTracer(tracer))
+	opts := []sim.Option{sim.WithTweaks(rc.Tweak), sim.WithTracer(tracer)}
+	if checks {
+		opts = append(opts, sim.WithChecks())
+	}
+	setup, err := sim.NewWithProgram(spec, prog, rc.Kind, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,105 +1,34 @@
-package experiments
+// External test package: the determinism property lives in
+// internal/check/props (which imports experiments), so an in-package test
+// using it would cycle.
+package experiments_test
 
 import (
 	"context"
-	"math"
-	"strings"
 	"testing"
 
-	"ignite/internal/lukewarm"
-	"ignite/internal/sim"
+	"ignite/internal/check/props"
+	"ignite/internal/experiments"
+	"ignite/internal/workload"
 )
-
-// valuesEqual reports whether two result Values maps are bit-identical,
-// returning the first difference for diagnostics.
-func valuesEqual(a, b map[string]map[string]float64) (string, bool) {
-	if len(a) != len(b) {
-		return "row count differs", false
-	}
-	for row, cols := range a {
-		bc, ok := b[row]
-		if !ok || len(cols) != len(bc) {
-			return "row " + row, false
-		}
-		for col, v := range cols {
-			w, ok := bc[col]
-			if !ok || math.Float64bits(v) != math.Float64bits(w) {
-				return row + "/" + col, false
-			}
-		}
-	}
-	return "", true
-}
 
 // TestDeterminism proves every experiment's Result.Values is bit-identical
 // across parallelism levels (cells scheduled 1-wide vs 8-wide) and across
 // cache-off (fresh simulation per experiment) vs cache-on (cells shared
-// through one CellCache across all three experiments).
+// through one CellCache across all three experiments). The relation itself
+// is the props.ExperimentsDeterminism metamorphic property.
 func TestDeterminism(t *testing.T) {
-	ids := []ID{"fig1", "fig8", "fig9a"}
-
-	base := map[ID]map[string]map[string]float64{}
-	opt := quickOpts(t)
-	opt.Parallel = 1
-	for _, id := range ids {
-		r, err := Run(context.Background(), id, opt)
+	var specs []workload.Spec
+	for _, name := range []string{"Fib-G", "Auth-G"} {
+		s, err := workload.ByName(name)
 		if err != nil {
-			t.Fatalf("%s parallel=1: %v", id, err)
+			t.Fatal(err)
 		}
-		base[id] = r.Values
+		s.TargetInstr /= 2
+		specs = append(specs, s)
 	}
-
-	opt8 := quickOpts(t)
-	opt8.Parallel = 8
-	for _, id := range ids {
-		r, err := Run(context.Background(), id, opt8)
-		if err != nil {
-			t.Fatalf("%s parallel=8: %v", id, err)
-		}
-		if at, ok := valuesEqual(base[id], r.Values); !ok {
-			t.Errorf("%s: parallel=8 diverges from parallel=1 at %s", id, at)
-		}
-	}
-
-	optC := quickOpts(t)
-	optC.Parallel = 8
-	optC.Cache = NewCellCache()
-	results, err := RunAll(context.Background(), ids, optC)
-	if err != nil {
-		t.Fatalf("RunAll cached: %v", err)
-	}
-	for i, id := range ids {
-		if at, ok := valuesEqual(base[id], results[i].Values); !ok {
-			t.Errorf("%s: cached run diverges from uncached at %s", id, at)
-		}
-	}
-	if cells, hits := optC.Cache.Stats(); hits == 0 {
-		t.Errorf("shared cache saw no hits across %v (%d cells)", ids, cells)
-	} else {
-		t.Logf("cache: %d unique cells, %d hits", cells, hits)
-	}
-}
-
-// TestRunMatrixAggregatesFailures checks the scheduler's error contract:
-// every failing cell is reported (errors.Join), not just the first, and a
-// failure cancels outstanding cells instead of simulating a doomed run to
-// completion.
-func TestRunMatrixAggregatesFailures(t *testing.T) {
-	opt := quickOpts(t)
-	opt.Parallel = 1 // serialize so cancellation after failure #1 is observable
-	_, err := runMatrix(context.Background(), "test", opt, []runConfig{
-		{Name: "bogus", Kind: sim.Kind("no-such-config"), Mode: lukewarm.Interleaved},
-	})
-	if err == nil {
-		t.Fatal("runMatrix accepted an unknown configuration")
-	}
-	if !strings.Contains(err.Error(), "unknown configuration") {
-		t.Errorf("error lost the cause: %v", err)
-	}
-	// With Parallel=1 the first failure cancels the second workload's cell,
-	// so exactly one error surfaces; with wider pools both may run. Either
-	// way the run must fail and name the workload/config.
-	if !strings.Contains(err.Error(), "bogus") {
-		t.Errorf("error lost the cell name: %v", err)
+	ids := []experiments.ID{"fig1", "fig8", "fig9a"}
+	if err := props.ExperimentsDeterminism(context.Background(), ids, specs); err != nil {
+		t.Fatal(err)
 	}
 }

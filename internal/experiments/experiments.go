@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ignite/internal/check"
 	"ignite/internal/engine"
 	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
@@ -47,6 +48,13 @@ type Options struct {
 	// tracer must be safe for concurrent use (every obs implementation
 	// is). Tracing never affects simulation results.
 	Tracer obs.Tracer
+	// Checks enables the runtime invariant verifier on every freshly
+	// simulated cell (sim.WithChecks): conservation-law violations abort
+	// the run with a structured check.Violation error instead of
+	// corrupting figures silently. Defaults to the IGNITE_CHECKS
+	// environment gate; checking never affects results, so (like Tracer)
+	// it is not part of the cell cache key.
+	Checks bool
 	// serialConfigs restores the pre-scheduler execution shape — one
 	// goroutine per workload running its configurations serially — and is
 	// kept only so benchmarks can measure the old path (see
@@ -60,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.NumCPU()
+	}
+	if check.EnvEnabled() {
+		o.Checks = true
 	}
 	return o
 }
@@ -306,7 +317,7 @@ func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (ma
 	var done atomic.Int64
 	runCell := func(spec workload.Spec, rc runConfig) error {
 		start := time.Now()
-		c, cached, err := cache.cell(spec, rc, opt.Tracer)
+		c, cached, err := cache.cell(spec, rc, opt.Tracer, opt.Checks)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
 		}

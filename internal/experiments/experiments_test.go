@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
 	"ignite/internal/workload"
 )
 
@@ -235,5 +237,56 @@ func TestFig12TemporalStreaming(t *testing.T) {
 	// Ignite's BPU restore must cut Confluence's BPU misses substantially.
 	if r.Get("Mean", "confluence+ignite/btbmpki") >= r.Get("Mean", "confluence/btbmpki") {
 		t.Error("Confluence+Ignite did not reduce BTB MPKI")
+	}
+}
+
+// TestRunMatrixAggregatesFailures checks the scheduler's error contract:
+// every failing cell is reported (errors.Join), not just the first, and a
+// failure cancels outstanding cells instead of simulating a doomed run to
+// completion.
+func TestRunMatrixAggregatesFailures(t *testing.T) {
+	opt := quickOpts(t)
+	opt.Parallel = 1 // serialize so cancellation after failure #1 is observable
+	_, err := runMatrix(context.Background(), "test", opt, []runConfig{
+		{Name: "bogus", Kind: sim.Kind("no-such-config"), Mode: lukewarm.Interleaved},
+	})
+	if err == nil {
+		t.Fatal("runMatrix accepted an unknown configuration")
+	}
+	if !strings.Contains(err.Error(), "unknown configuration") {
+		t.Errorf("error lost the cause: %v", err)
+	}
+	// With Parallel=1 the first failure cancels the second workload's cell,
+	// so exactly one error surfaces; with wider pools both may run. Either
+	// way the run must fail and name the workload/config.
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error lost the cell name: %v", err)
+	}
+}
+
+// TestChecksAllExperiments runs every registered experiment with runtime
+// invariant checking enabled: each distinct cell's invocations are audited
+// against the conservation laws in internal/check, and any violation fails
+// the run. The shared cell cache keeps the sweep affordable — every unique
+// (workload, config, mode) cell is simulated (and therefore audited) exactly
+// once.
+func TestChecksAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opt := quickOpts(t)
+	// The laws are scale-free, so run the sweep at 1/8 of the full budget:
+	// under the race detector on a small machine, every cycle counts.
+	for i := range opt.Workloads {
+		opt.Workloads[i].TargetInstr /= 4
+	}
+	opt.Parallel = 8
+	opt.Cache = NewCellCache()
+	opt.Checks = true
+	if _, err := RunAll(context.Background(), IDs(), opt); err != nil {
+		t.Fatalf("invariant violation while running all experiments: %v", err)
+	}
+	if cells, _ := opt.Cache.Stats(); cells == 0 {
+		t.Fatal("no cells simulated")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"ignite/internal/cfg"
 	"ignite/internal/engine"
 	"ignite/internal/memsys"
+	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
 
@@ -101,29 +102,143 @@ func TestReplayRestoresState(t *testing.T) {
 	}
 }
 
-func TestReplayThrottling(t *testing.T) {
+// recordedIgnite arms a replay over a half-invocation recording made with a
+// tiny throttle threshold, so the stream is much larger than the threshold.
+func recordedIgnite(t *testing.T, threshold int) (*engine.Engine, *Ignite) {
+	t.Helper()
 	eng, spec := testEngine(t)
 	store := memsys.NewStore()
 	cfg := DefaultConfig()
-	cfg.Replay.ThrottleThreshold = 100 // tiny threshold
+	cfg.Replay.ThrottleThreshold = threshold
 	ig := New(cfg, eng, store, "test")
 	ig.Install()
 
 	eng.Thrash(1)
 	ig.StartRecord()
-	eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 2})
+	if _, err := eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr() / 2}); err != nil {
+		t.Fatal(err)
+	}
 	ig.StopRecord()
 	ig.ArmReplay()
-
 	eng.Thrash(2)
-	ig.Replayer().BeginInvocation()
-	ig.Replayer().Drain()
-	// With nothing touching the BTB, replay must stop at ~threshold.
+	return eng, ig
+}
+
+func TestReplayThrottling(t *testing.T) {
+	// The throttle applies to the rate-limited Tick path: with nothing
+	// touching the BTB, background replay must pause at ~threshold
+	// untouched restored entries instead of racing through the stream.
+	eng, ig := recordedIgnite(t, 100)
+	r := ig.Replayer()
+	r.BeginInvocation()
+	for i := 0; i < 2000; i++ {
+		r.Tick(uint64(i), 1)
+	}
 	if got := eng.BTB().RestoredUntouched(); got > 100+8 {
 		t.Errorf("throttle exceeded: %d untouched restored entries", got)
 	}
-	if ig.Replayer().Done() {
+	if r.Done() {
 		t.Error("replay claims done while throttled")
+	}
+	if r.ThrottleStalls == 0 {
+		t.Error("no throttle stalls counted while paused")
+	}
+}
+
+func TestDrainIgnoresThrottle(t *testing.T) {
+	// Regression: Drain used to stop at the throttle threshold and leave
+	// the replay half-consumed while still active. Its contract is to run
+	// the stream to completion ignoring rate limits.
+	eng, ig := recordedIgnite(t, 100)
+	col := &obs.Collector{}
+	eng.SetTracer(col)
+	r := ig.Replayer()
+	r.BeginInvocation()
+	r.Drain()
+
+	if !r.Done() {
+		t.Error("Drain left the replay active")
+	}
+	if r.Restored <= 100 {
+		t.Errorf("Drain stopped at the throttle: restored only %d records", r.Restored)
+	}
+	if got := eng.BTB().RestoredUntouched(); got <= 100 {
+		t.Errorf("expected untouched restores far past the threshold, got %d", got)
+	}
+	if col.Count("replay_end") != 1 {
+		t.Errorf("ReplayEnd emitted %d times, want 1", col.Count("replay_end"))
+	}
+	// The whole recorded stream was consumed and charged to the bus.
+	if r.BytesRead() == 0 || r.BytesRead() > r.RegionUsed() {
+		t.Errorf("replay read %d bytes of %d recorded", r.BytesRead(), r.RegionUsed())
+	}
+}
+
+func TestBeginInvocationWithoutRegion(t *testing.T) {
+	// Regression: an armed replayer with no recorded region (nothing was
+	// ever recorded) must stay inactive instead of dereferencing nil.
+	eng, _ := testEngine(t)
+	r := NewReplayer(DefaultReplayConfig(), DefaultCodecConfig(), eng, nil, nil)
+	r.Arm()
+	r.BeginInvocation() // must not panic
+	if !r.Done() {
+		t.Error("replayer activated with no metadata region")
+	}
+	r.Tick(0, 100) // must be a no-op
+	if r.Restored != 0 || r.RegionUsed() != 0 {
+		t.Errorf("inactive replayer restored %d records", r.Restored)
+	}
+
+	// An empty (but present) region: replay starts and finishes on the
+	// first decode without restoring anything.
+	r.SetRegion(memsys.NewRegion(0x1000, MaxMetadataBytes))
+	r.Arm()
+	r.BeginInvocation()
+	r.Tick(0, 100)
+	if !r.Done() {
+		t.Error("empty-region replay never finished")
+	}
+	if r.Restored != 0 {
+		t.Errorf("empty-region replay restored %d records", r.Restored)
+	}
+}
+
+func TestTickCreditRetentionAcrossStalls(t *testing.T) {
+	// Regression: stalled cycles must not accrue decode credit (that would
+	// bank an unbounded burst for when the throttle lifts), but credit
+	// earned before the stall is retained, not forfeited.
+	eng, ig := recordedIgnite(t, 50)
+	r := ig.Replayer()
+	r.BeginInvocation()
+
+	// Grant a large burst at once: replay restores to ~threshold and then
+	// throttles mid-burst with leftover credit in the bank.
+	r.Tick(0, 500)
+	if r.Done() {
+		t.Fatal("stream too small to throttle")
+	}
+	if eng.BTB().RestoredUntouched() <= 50 {
+		t.Fatalf("throttle did not engage: %d untouched", eng.BTB().RestoredUntouched())
+	}
+	credit := r.Credit()
+	if credit < 1 {
+		t.Fatalf("expected leftover credit after a mid-burst stall, got %g", credit)
+	}
+	restored := r.Restored
+	stalls := r.ThrottleStalls
+
+	// While stalled, further cycles confer no credit and restore nothing.
+	for i := 0; i < 100; i++ {
+		r.Tick(uint64(500 + i), 10)
+	}
+	if got := r.Credit(); got != credit {
+		t.Errorf("credit changed during stall: %g -> %g", credit, got)
+	}
+	if r.Restored != restored {
+		t.Errorf("restored %d records while throttled", r.Restored-restored)
+	}
+	if r.ThrottleStalls <= stalls {
+		t.Error("stalled ticks not counted")
 	}
 }
 

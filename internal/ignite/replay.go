@@ -119,7 +119,10 @@ func (r *Replayer) Done() bool { return !r.active }
 // BeginInvocation implements engine.Companion: replay starts together with
 // the function (Section 4.3).
 func (r *Replayer) BeginInvocation() {
-	if !r.armed {
+	if !r.armed || r.region == nil {
+		// Armed with no metadata region (nothing was ever recorded):
+		// there is no stream to replay, so stay inactive rather than
+		// dereferencing a nil region.
 		return
 	}
 	if t := r.eng.Tracer(); t != nil {
@@ -149,12 +152,21 @@ func (r *Replayer) Tick(now uint64, cycles int) {
 	if !r.active {
 		return
 	}
-	r.credit += float64(cycles) * r.cfg.EntriesPerCycle
 	btbRef := r.eng.BTB()
+	if btbRef.RestoredUntouched() > r.cfg.ThrottleThreshold {
+		// Replay is paused: stalled cycles confer no decode credit.
+		// (Accruing here would bank an unbounded burst during a long
+		// stall, letting the replayer exceed its rated EntriesPerCycle
+		// the moment the throttle lifts.) Credit already earned before
+		// the stall is retained.
+		r.ThrottleStalls++
+		return
+	}
+	r.credit += float64(cycles) * r.cfg.EntriesPerCycle
 	for r.credit >= 1 {
 		if btbRef.RestoredUntouched() > r.cfg.ThrottleThreshold {
 			r.ThrottleStalls++
-			return // retry next tick; credit is retained
+			return // throttled mid-burst; leftover credit is retained
 		}
 		r.credit--
 		rec, ok, err := r.dec.Decode()
@@ -175,11 +187,7 @@ func (r *Replayer) Drain() {
 	if !r.active {
 		r.BeginInvocation()
 	}
-	btbRef := r.eng.BTB()
 	for r.active {
-		if btbRef.RestoredUntouched() > r.cfg.ThrottleThreshold {
-			return
-		}
 		rec, ok, err := r.dec.Decode()
 		if err != nil || !ok {
 			r.finish()
@@ -188,6 +196,23 @@ func (r *Replayer) Drain() {
 		r.apply(rec)
 	}
 }
+
+// BytesRead returns the metadata bytes consumed (charged to the bus) by the
+// current/last replay — the quantity the replay-meta-bytes invariant bounds
+// by the recorded region size.
+func (r *Replayer) BytesRead() int { return r.bitsSeen / 8 }
+
+// RegionUsed returns the recorded metadata bytes available for replay.
+func (r *Replayer) RegionUsed() int {
+	if r.region == nil {
+		return 0
+	}
+	return r.region.Used()
+}
+
+// Credit returns the un-spent decode credit (test instrumentation for the
+// throttle pacing model).
+func (r *Replayer) Credit() float64 { return r.credit }
 
 func (r *Replayer) finish() {
 	r.active = false

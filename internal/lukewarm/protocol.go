@@ -73,12 +73,22 @@ type Options struct {
 	// measured invocation.
 	Mechanisms []Mechanism
 	// SeedBase differentiates invocations; each invocation uses
-	// SeedBase+i so traces share structure but differ in detail.
+	// SeedBase+i so traces share structure but differ in detail. A zero
+	// SeedBase means DefaultSeedBase unless SeedBaseSet says otherwise:
+	// seed 0 is a legitimate request, so callers that computed their base
+	// (even to zero) set the sentinel rather than relying on non-zeroness.
 	SeedBase uint64
+	// SeedBaseSet marks SeedBase as explicitly chosen, making SeedBase: 0
+	// expressible instead of being clobbered to DefaultSeedBase.
+	SeedBaseSet bool
 	// Traces, when non-nil, supplies pre-generated committed traces;
 	// results are bit-identical with or without it.
 	Traces TraceProvider
 }
+
+// DefaultSeedBase is the protocol's seed base when the caller leaves
+// Options.SeedBase unset.
+const DefaultSeedBase uint64 = 0x1ce
 
 func (o Options) withDefaults() Options {
 	if o.Warmups <= 0 {
@@ -87,8 +97,8 @@ func (o Options) withDefaults() Options {
 	if o.Measures <= 0 {
 		o.Measures = 3
 	}
-	if o.SeedBase == 0 {
-		o.SeedBase = 0x1ce
+	if o.SeedBase == 0 && !o.SeedBaseSet {
+		o.SeedBase = DefaultSeedBase
 	}
 	return o
 }
@@ -188,12 +198,15 @@ func (r *Result) MeanTraffic() memsys.Report {
 		sum.RecordMetaBytes += t.RecordMetaBytes
 		sum.ReplayMetaBytes += t.ReplayMetaBytes
 	}
+	// Round half-up: plain integer division would silently drop up to
+	// n-1 bytes per field, skewing every bandwidth figure low.
 	n := uint64(len(r.Traffic))
+	mean := func(v uint64) uint64 { return (v + n/2) / n }
 	return memsys.Report{
-		UsefulInstrBytes:  sum.UsefulInstrBytes / n,
-		UselessInstrBytes: sum.UselessInstrBytes / n,
-		RecordMetaBytes:   sum.RecordMetaBytes / n,
-		ReplayMetaBytes:   sum.ReplayMetaBytes / n,
+		UsefulInstrBytes:  mean(sum.UsefulInstrBytes),
+		UselessInstrBytes: mean(sum.UselessInstrBytes),
+		RecordMetaBytes:   mean(sum.RecordMetaBytes),
+		ReplayMetaBytes:   mean(sum.ReplayMetaBytes),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ignite/internal/engine"
+	"ignite/internal/memsys"
 	"ignite/internal/workload"
 )
 
@@ -143,5 +144,68 @@ func TestEmptyResultHelpers(t *testing.T) {
 	r := &Result{}
 	if r.CPI() != 0 || r.MeanTraffic().Total() != 0 {
 		t.Error("empty result helpers should return zeros")
+	}
+}
+
+func TestMeanTrafficRoundsHalfUp(t *testing.T) {
+	// Regression: a byte count not divisible by the invocation count used
+	// to truncate, dropping up to n-1 bytes per field.
+	r := &Result{Traffic: []memsys.Report{
+		{UsefulInstrBytes: 1, UselessInstrBytes: 10, RecordMetaBytes: 0, ReplayMetaBytes: 2},
+		{UsefulInstrBytes: 2, UselessInstrBytes: 10, RecordMetaBytes: 1, ReplayMetaBytes: 2},
+		{UsefulInstrBytes: 2, UselessInstrBytes: 10, RecordMetaBytes: 0, ReplayMetaBytes: 3},
+	}}
+	m := r.MeanTraffic()
+	// Sums are 5, 30, 1, 7 over n=3: half-up means 2, 10, 0, 2
+	// (truncation would yield 1 for the first field).
+	if m.UsefulInstrBytes != 2 {
+		t.Errorf("UsefulInstrBytes mean = %d, want 2 (5/3 rounded half-up)", m.UsefulInstrBytes)
+	}
+	if m.UselessInstrBytes != 10 {
+		t.Errorf("UselessInstrBytes mean = %d, want 10", m.UselessInstrBytes)
+	}
+	if m.RecordMetaBytes != 0 {
+		t.Errorf("RecordMetaBytes mean = %d, want 0 (1/3 rounds down)", m.RecordMetaBytes)
+	}
+	if m.ReplayMetaBytes != 2 {
+		t.Errorf("ReplayMetaBytes mean = %d, want 2 (7/3 rounded half-up)", m.ReplayMetaBytes)
+	}
+}
+
+func TestSeedBaseDefaults(t *testing.T) {
+	// Regression: an explicitly chosen SeedBase of zero used to be
+	// clobbered to DefaultSeedBase because only non-zeroness was checked.
+	if got := (Options{}).withDefaults().SeedBase; got != DefaultSeedBase {
+		t.Errorf("unset SeedBase = %#x, want DefaultSeedBase %#x", got, DefaultSeedBase)
+	}
+	o := Options{SeedBase: 0, SeedBaseSet: true}.withDefaults()
+	if o.SeedBase != 0 {
+		t.Errorf("explicit SeedBase 0 clobbered to %#x", o.SeedBase)
+	}
+	if got := (Options{SeedBase: 7}).withDefaults().SeedBase; got != 7 {
+		t.Errorf("non-zero SeedBase rewritten to %#x", got)
+	}
+}
+
+func TestSeedBaseZeroChangesRun(t *testing.T) {
+	// End-to-end: SeedBase 0 with the sentinel must actually run seeds
+	// 0,1,... — producing a different trace sequence than the default base.
+	run := func(opt Options) *Result {
+		t.Helper()
+		eng, base := testEngine(t)
+		base.Mode = Interleaved
+		base.Measures = 1
+		base.SeedBase, base.SeedBaseSet = opt.SeedBase, opt.SeedBaseSet
+		res, err := Run(eng, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	zero := run(Options{SeedBase: 0, SeedBaseSet: true})
+	def := run(Options{})
+	if zero.Cycles() == def.Cycles() && zero.Instrs() == def.Instrs() &&
+		zero.CBPMPKI() == def.CBPMPKI() {
+		t.Error("explicit SeedBase 0 produced the DefaultSeedBase run (sentinel ignored)")
 	}
 }

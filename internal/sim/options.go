@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"ignite/internal/check"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
@@ -15,10 +16,14 @@ type Option func(*settings)
 type settings struct {
 	tw     Tweaks
 	tracer obs.Tracer
+	checks bool
 }
 
 func applyOptions(opts []Option) settings {
-	var s settings
+	// The IGNITE_CHECKS environment gate turns on invariant checking for
+	// every setup built while it is set (the CI smoke path); WithChecks
+	// enables it per setup.
+	s := settings{checks: check.EnvEnabled()}
 	for _, o := range opts {
 		if o != nil {
 			o(&s)
@@ -58,6 +63,20 @@ func WithBTBEntries(n int) Option {
 	return func(s *settings) { s.tw.BTBEntries = n }
 }
 
+// WithL2KiB overrides the L2 capacity in KiB (default Table 2's 1280 KiB).
+// The hierarchy keeps its 20-way geometry, so the size must leave a
+// power-of-two set count: 320, 640, 1280, 2560, ... KiB.
+func WithL2KiB(n int) Option {
+	return func(s *settings) { s.tw.L2KiB = n }
+}
+
+// WithChecks enables runtime invariant checking: after every invocation the
+// engine's state is audited against the conservation laws in internal/check,
+// and a violation aborts the run with a structured check.Violation error.
+func WithChecks() Option {
+	return func(s *settings) { s.checks = true }
+}
+
 // WithTracer installs an obs.Tracer on the setup's engine, receiving
 // invocation and replay lifecycle events.
 func WithTracer(t obs.Tracer) Option {
@@ -88,6 +107,9 @@ func WithTweaks(tw Tweaks) Option {
 		}
 		if tw.BTBEntries != 0 {
 			s.tw.BTBEntries = tw.BTBEntries
+		}
+		if tw.L2KiB != 0 {
+			s.tw.L2KiB = tw.L2KiB
 		}
 	}
 }

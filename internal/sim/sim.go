@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ignite/internal/cfg"
+	"ignite/internal/check"
 	"ignite/internal/engine"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
@@ -72,6 +73,9 @@ type Tweaks struct {
 	MetadataBytes int
 	// BTBEntries overrides the BTB capacity (0 = default 12K).
 	BTBEntries int
+	// L2KiB overrides the L2 capacity in KiB (0 = default 1280); see
+	// WithL2KiB for the geometry constraint.
+	L2KiB int
 }
 
 // Setup is a ready-to-run simulation of one (function, configuration) pair.
@@ -92,6 +96,12 @@ type Setup struct {
 	// TraceProvider, when set, supplies shared pre-generated invocation
 	// traces to the protocol (see lukewarm.TraceProvider).
 	TraceProvider lukewarm.TraceProvider
+
+	// Checks is the runtime invariant auditor, non-nil when the setup was
+	// built with WithChecks (or under IGNITE_CHECKS). It is already
+	// installed as the engine's post-invocation hook; Run additionally
+	// audits the aggregate result laws through it.
+	Checks *check.Invariants
 }
 
 // New builds the setup for a workload under the named configuration.
@@ -129,6 +139,9 @@ func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, opts ...Op
 	ec.Data = spec.Data
 	if tw.BTBEntries > 0 {
 		ec.BTB.Entries = tw.BTBEntries
+	}
+	if tw.L2KiB > 0 {
+		ec.L2SizeBytes = tw.L2KiB << 10
 	}
 
 	useIgnite := false
@@ -209,6 +222,13 @@ func NewWithProgram(spec workload.Spec, prog *cfg.Program, kind Kind, opts ...Op
 		s.Ignite.Install()
 		s.Mechanisms = append(s.Mechanisms, igniteMechanism{s.Ignite})
 	}
+	if set.checks {
+		s.Checks = check.New(eng)
+		if s.Ignite != nil {
+			s.Checks.AttachIgnite(s.Ignite)
+		}
+		eng.SetInvocationCheck(s.Checks.CheckInvocation)
+	}
 	return s, nil
 }
 
@@ -238,14 +258,30 @@ func (s *Setup) RegisterMetrics(reg *obs.Registry) {
 	}
 }
 
-// Run executes the lukewarm protocol in the given mode.
+// Run executes the lukewarm protocol in the given mode. With checks
+// enabled, per-invocation invariants are audited inside the protocol and
+// the aggregate result laws afterwards.
 func (s *Setup) Run(mode lukewarm.Mode) (*lukewarm.Result, error) {
-	return lukewarm.Run(s.Eng, lukewarm.Options{
+	res, err := lukewarm.Run(s.Eng, lukewarm.Options{
 		MaxInstr:   s.Spec.MaxInstr(),
 		Mode:       mode,
 		Keep:       s.Keep,
 		Mechanisms: s.Mechanisms,
-		SeedBase:   s.Spec.Gen.Seed * 1000,
-		Traces:     s.TraceProvider,
+		// The base is computed, so mark it explicitly set: a workload
+		// with Gen.Seed 0 must not be silently rebased onto
+		// lukewarm.DefaultSeedBase.
+		SeedBase:    s.Spec.Gen.Seed * 1000,
+		SeedBaseSet: true,
+		Traces:      s.TraceProvider,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if s.Checks != nil {
+		if cerr := check.VerifyResult(res); cerr != nil {
+			return nil, fmt.Errorf("sim: result invariant check (%s/%s, %s): %w",
+				s.Spec.Name, s.Kind, mode, cerr)
+		}
+	}
+	return res, nil
 }

@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test -race ./...
+# The full suite simulates hundreds of (workload, config) cells; under the
+# race detector on a small machine that legitimately exceeds go test's 10m
+# default timeout, so set an explicit budget.
+go test -race -timeout 30m ./...
 
 # Examples are real programs, not documentation snippets: they must keep
 # compiling against the current API (the quickstart and observability
@@ -33,4 +36,23 @@ go build -o "$smoke/ignite-bench" ./cmd/ignite-bench
   grep -q '"schemaVersion": 1' results/fig1.json
   grep -q '"kind": "ignite.experiment-result"' results/fig1.json
 )
-echo "ci: ok (build, vet, race tests, examples, JSON export smoke)"
+
+# Invariant-checking smoke: the same small figure with the runtime verifier
+# enabled — every invocation of every cell is audited against the
+# conservation laws in internal/check, and any violation aborts the run.
+(
+  cd "$smoke"
+  IGNITE_CHECKS=1 ./ignite-bench \
+    -exp fig8 -workloads Fib-G -target-instr 200000 -json -out results-checked \
+    >/dev/null
+  test -s results-checked/fig8.json
+)
+
+# Mutation smoke: break every invariant on purpose and prove the checker
+# fires, then run the metamorphic properties (the -race sweep above already
+# covers these; this named pass keeps the verifier's own health visible even
+# if the suite layout changes).
+go test -run 'TestMutationSmoke|TestVerifyResult' ./internal/check
+go test -run TestProperties ./internal/check/props
+
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, mutation smoke)"
