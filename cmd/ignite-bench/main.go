@@ -8,24 +8,38 @@
 //	ignite-bench -exp all -json          # also write BENCH.json
 //	ignite-bench -exp fig1 -out results/ # versioned JSON document per experiment
 //	ignite-bench -exp all -progress      # narrate cell completions + ETA
+//	ignite-bench -exp all -fail-policy continue -out results/
+//	ignite-bench -exp all -resume -out results/   # pick up an interrupted run
+//
+// With -fail-policy continue, a failing simulation cell degrades its figure
+// (the cell is reported, healthy cells complete) instead of aborting the
+// whole reproduction. With -out (or -journal), every computed cell is
+// appended to a crash-safe journal; -resume reloads it so an interrupted
+// run continues where it stopped. The IGNITE_FAULTS environment variable
+// arms deterministic fault injection (see internal/faults) for chaos
+// testing these paths.
 //
 // Ctrl-C cancels cleanly: in-flight simulation cells drain, unstarted ones
-// are skipped, and the command exits non-zero.
+// are skipped, and the command exits with status 130. Simulation failures
+// exit 1; usage errors exit 2.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"ignite/internal/experiments"
+	"ignite/internal/faults"
 	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
@@ -72,6 +86,12 @@ func main() {
 	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
 	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
 	tiFlag := flag.Uint64("target-instr", 0, "override per-invocation instruction budget (0 = each workload's own; CI smoke runs use a small value)")
+	policyFlag := flag.String("fail-policy", "fail-fast", "cell-failure policy: fail-fast aborts on the first failure, continue completes healthy cells and reports failures per cell")
+	timeoutFlag := flag.Duration("cell-timeout", 0, "per-cell simulation deadline (0 = none)")
+	cyclesFlag := flag.Uint64("max-cycles", 0, "per-invocation engine cycle budget, aborts runaway simulations (0 = unlimited)")
+	retriesFlag := flag.Int("retries", 0, "transient-failure retries per cell (0 = default 2, negative disables)")
+	journalFlag := flag.String("journal", "", "crash-safe cell journal path (default <out>/run.journal.jsonl when -out is set)")
+	resumeFlag := flag.Bool("resume", false, "preload cells from the journal of an interrupted run before simulating")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,9 +106,29 @@ func main() {
 		return
 	}
 
+	policy, err := experiments.ParseFailurePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := faults.FromEnvSpec(os.Getenv(faults.EnvVar))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	// One shared cell cache across the selected experiments: cells that
 	// recur (the nl baseline appears in five figures) are simulated once.
-	opt := experiments.Options{Parallel: *parFlag, Cache: experiments.NewCellCache()}
+	opt := experiments.Options{
+		Parallel:      *parFlag,
+		Cache:         experiments.NewCellCache(),
+		FailurePolicy: policy,
+		CellTimeout:   *timeoutFlag,
+		MaxCycles:     *cyclesFlag,
+		Retries:       *retriesFlag,
+		Faults:        plan,
+		Health:        new(obs.RunHealth),
+	}
 	if *wlFlag != "" {
 		for _, name := range strings.Split(*wlFlag, ",") {
 			spec, err := workload.ByName(strings.TrimSpace(name))
@@ -111,6 +151,33 @@ func main() {
 	if *progFlag {
 		reporter = obs.NewProgressReporter(os.Stderr)
 		opt.Tracer = reporter
+	}
+
+	journalPath := *journalFlag
+	if journalPath == "" && *outFlag != "" {
+		journalPath = filepath.Join(*outFlag, "run.journal.jsonl")
+	}
+	if *resumeFlag && journalPath == "" {
+		fmt.Fprintln(os.Stderr, "ignite-bench: -resume needs a journal (-journal or -out)")
+		os.Exit(2)
+	}
+	if journalPath != "" {
+		j, err := experiments.OpenJournal(journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		opt.Journal = j
+		if *resumeFlag {
+			loaded, skipped, err := j.Resume(opt.Cache)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "resumed %d cell(s) from %s (%d unreadable record(s) skipped)\n",
+				loaded, journalPath, skipped)
+		}
 	}
 
 	var ids []experiments.ID
@@ -139,19 +206,31 @@ func main() {
 	totalStart := time.Now()
 	var mem runtime.MemStats
 	var results []*experiments.Result
+	failed := false
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
 		runtime.ReadMemStats(&mem)
 		mallocs, bytes := mem.Mallocs, mem.TotalAlloc
 		start := time.Now()
 		res, err := experiments.Run(ctx, id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			failed = true
+			if policy == experiments.ContinueOnError && !errors.Is(err, context.Canceled) {
+				continue
+			}
+			break
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&mem)
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, elapsed.Seconds())
+		printFailures(res)
+		if len(res.Failures) > 0 {
+			failed = true
+		}
 		results = append(results, res)
 		report.Experiments = append(report.Experiments, expReport{
 			ID:          string(id),
@@ -168,6 +247,7 @@ func main() {
 		cells, hits := reporter.Summary()
 		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits)\n", cells, hits)
 	}
+	printHealth(opt.Health)
 
 	if *outFlag != "" {
 		man := opt.Manifest()
@@ -188,11 +268,45 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile("BENCH.json", append(data, '\n'), 0o644); err != nil {
+		if err := obs.WriteFileAtomic("BENCH.json", append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote BENCH.json (%d experiments, %d unique cells, %d cache hits)\n",
 			len(report.Experiments), report.CacheCells, report.CacheHits)
 	}
+
+	switch {
+	case ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "ignite-bench: interrupted")
+		os.Exit(130)
+	case failed:
+		os.Exit(1)
+	}
+}
+
+// printFailures renders a degraded experiment's per-cell failure table.
+func printFailures(res *experiments.Result) {
+	if len(res.Failures) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d degraded cell(s):\n", res.ID, len(res.Failures))
+	fmt.Fprintf(os.Stderr, "  %-12s %-16s %-8s %-8s %s\n",
+		"workload", "config", "status", "attempts", "error")
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "  %-12s %-16s %-8s %-8d %s\n",
+			f.Workload, f.Config, f.Status, f.Attempts, f.Err)
+	}
+}
+
+// printHealth summarizes the run-health counters when anything degraded.
+func printHealth(h *obs.RunHealth) {
+	p, r, d := h.Panics.Load(), h.Retries.Load(), h.Deadlines.Load()
+	f, s := h.Failed.Load(), h.Skipped.Load()
+	if p+r+d+f+s == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"run health: %d panic(s) recovered, %d retry(ies), %d deadline hit(s), %d cell(s) failed, %d skipped\n",
+		p, r, d, f, s)
 }

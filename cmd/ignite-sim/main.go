@@ -9,21 +9,30 @@
 //	ignite-sim -show-config
 //	ignite-sim -all -out results/           # machine-readable JSON per experiment
 //	ignite-sim -all -progress               # narrate cell completions + ETA
+//	ignite-sim -all -fail-policy continue   # degrade on cell failures, don't abort
+//	ignite-sim -all -resume -out results/   # pick up an interrupted run
+//
+// The IGNITE_FAULTS environment variable arms deterministic fault injection
+// (see internal/faults) on both the suite and single-cell runs.
 //
 // Ctrl-C cancels cleanly: in-flight simulation cells drain, unstarted ones
-// are skipped, and the command exits non-zero.
+// are skipped, and the command exits with status 130. Simulation failures
+// exit 1; usage errors exit 2.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ignite/internal/experiments"
+	"ignite/internal/faults"
 	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
 	"ignite/internal/sim"
@@ -39,14 +48,37 @@ func main() {
 	allFlag := flag.Bool("all", false, "reproduce every registered experiment through one shared cell cache")
 	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
 	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
+	policyFlag := flag.String("fail-policy", "fail-fast", "cell-failure policy for -all: fail-fast or continue")
+	timeoutFlag := flag.Duration("cell-timeout", 0, "per-cell simulation deadline for -all (0 = none)")
+	cyclesFlag := flag.Uint64("max-cycles", 0, "per-invocation engine cycle budget (0 = unlimited)")
+	journalFlag := flag.String("journal", "", "crash-safe cell journal path for -all (default <out>/run.journal.jsonl when -out is set)")
+	resumeFlag := flag.Bool("resume", false, "preload cells from the journal of an interrupted -all run")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	plan, err := faults.FromEnvSpec(os.Getenv(faults.EnvVar))
+	if err != nil {
+		fatalCode(2, err)
+	}
+
 	switch {
 	case *allFlag:
-		runAll(ctx, *outFlag, *progFlag)
+		policy, err := experiments.ParseFailurePolicy(*policyFlag)
+		if err != nil {
+			fatalCode(2, err)
+		}
+		runAll(ctx, allOptions{
+			dir:      *outFlag,
+			progress: *progFlag,
+			policy:   policy,
+			timeout:  *timeoutFlag,
+			cycles:   *cyclesFlag,
+			journal:  *journalFlag,
+			resume:   *resumeFlag,
+			faults:   plan,
+		})
 	case *showCfg:
 		res, err := experiments.Run(ctx, "tab2", experiments.Options{})
 		if err != nil {
@@ -63,47 +95,105 @@ func main() {
 			fmt.Printf("  %s\n", k)
 		}
 	default:
-		runOne(*fnFlag, *cfgFlag, *modeFlag, *outFlag)
+		runOne(*fnFlag, *cfgFlag, *modeFlag, *outFlag, *cyclesFlag, plan)
 	}
+}
+
+// allOptions bundles the -all run's knobs.
+type allOptions struct {
+	dir      string
+	progress bool
+	policy   experiments.FailurePolicy
+	timeout  time.Duration
+	cycles   uint64
+	journal  string
+	resume   bool
+	faults   *faults.Plan
 }
 
 // runAll reproduces every experiment, optionally exporting one versioned
 // JSON document per experiment into dir.
-func runAll(ctx context.Context, dir string, progress bool) {
-	opt := experiments.Options{Cache: experiments.NewCellCache()}
+func runAll(ctx context.Context, ao allOptions) {
+	opt := experiments.Options{
+		Cache:         experiments.NewCellCache(),
+		FailurePolicy: ao.policy,
+		CellTimeout:   ao.timeout,
+		MaxCycles:     ao.cycles,
+		Faults:        ao.faults,
+		Health:        new(obs.RunHealth),
+	}
 	var reporter *obs.ProgressReporter
-	if progress {
+	if ao.progress {
 		reporter = obs.NewProgressReporter(os.Stderr)
 		opt.Tracer = reporter
 	}
-	results, err := experiments.RunAll(ctx, nil, opt)
-	if err != nil {
-		fatal(err)
+	journalPath := ao.journal
+	if journalPath == "" && ao.dir != "" {
+		journalPath = filepath.Join(ao.dir, "run.journal.jsonl")
 	}
+	if ao.resume && journalPath == "" {
+		fatalCode(2, errors.New("ignite-sim: -resume needs a journal (-journal or -out)"))
+	}
+	if journalPath != "" {
+		j, err := experiments.OpenJournal(journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		opt.Journal = j
+		if ao.resume {
+			loaded, skipped, err := j.Resume(opt.Cache)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "resumed %d cell(s) from %s (%d unreadable record(s) skipped)\n",
+				loaded, journalPath, skipped)
+		}
+	}
+
+	results, runErr := experiments.RunAll(ctx, nil, opt)
+	failed := runErr != nil
 	for _, res := range results {
 		fmt.Println(res.Render())
 		fmt.Println()
+		if len(res.Failures) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %d degraded cell(s):\n", res.ID, len(res.Failures))
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "  %-12s %-16s %-8s %s\n", f.Workload, f.Config, f.Status, f.Err)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 	}
 	if reporter != nil {
 		cells, hits := reporter.Summary()
 		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits)\n", cells, hits)
 	}
-	if dir != "" {
+	if ao.dir != "" {
 		man := opt.Manifest()
 		man.Generated = time.Now().UTC().Format(time.RFC3339)
 		for _, res := range results {
-			path, err := res.Document(man).WriteFile(dir, string(res.ID))
+			path, err := res.Document(man).WriteFile(ao.dir, string(res.ID))
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+	switch {
+	case errors.Is(runErr, context.Canceled) || ctx.Err() != nil:
+		fmt.Fprintln(os.Stderr, "ignite-sim: interrupted")
+		os.Exit(130)
+	case failed:
+		os.Exit(1)
+	}
 }
 
 // runOne simulates a single (function, configuration) cell and prints its
 // statistics; with -out it also exports the cell's full metric snapshot.
-func runOne(fn, cfgName, modeName, dir string) {
+func runOne(fn, cfgName, modeName, dir string, maxCycles uint64, plan *faults.Plan) {
 	spec, err := workload.ByName(fn)
 	if err != nil {
 		fatalCode(2, err)
@@ -113,7 +203,11 @@ func runOne(fn, cfgName, modeName, dir string) {
 		mode = lukewarm.BackToBack
 	}
 
-	setup, err := sim.New(spec, sim.Kind(cfgName))
+	opts := []sim.Option{sim.WithFaults(plan)}
+	if maxCycles > 0 {
+		opts = append(opts, sim.WithMaxCycles(maxCycles))
+	}
+	setup, err := sim.New(spec, sim.Kind(cfgName), opts...)
 	if err != nil {
 		fatalCode(2, err)
 	}

@@ -28,6 +28,7 @@ func main() {
 	seedFlag := flag.Uint64("seed", 1, "invocation seed")
 	summary := flag.Bool("summary", false, "print stream statistics only")
 	events := flag.Bool("events", false, "stream engine trace events as JSON lines on stderr")
+	cyclesFlag := flag.Uint64("max-cycles", 0, "per-invocation engine cycle budget, aborts a runaway invocation (0 = unlimited)")
 	flag.Parse()
 
 	spec, err := workload.ByName(*fnFlag)
@@ -41,7 +42,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	eng := engine.New(prog, engine.DefaultConfig())
+	ec := engine.DefaultConfig()
+	ec.MaxCycles = *cyclesFlag
+	eng := engine.New(prog, ec)
 	if *events {
 		eng.SetTracer(obs.NewWriterTracer(os.Stderr))
 	}

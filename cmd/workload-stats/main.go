@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ignite/internal/obs"
@@ -19,6 +22,9 @@ func main() {
 	outFlag := flag.String("out", "", "directory for a machine-readable JSON document of the characterization")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	t := stats.NewTable("Workload characterization",
 		"function", "runtime", "static KiB", "funcs", "instr WS KiB", "branch WS", "dyn instrs", "dyn branches")
 	doc := obs.Document{
@@ -30,6 +36,10 @@ func main() {
 		},
 	}
 	for _, s := range workload.All() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "workload-stats: interrupted")
+			os.Exit(130)
+		}
 		prog, rep, err := s.Build()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

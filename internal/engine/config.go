@@ -62,6 +62,15 @@ type Config struct {
 	PerfectL1I bool
 	PerfectBTB bool
 
+	// MaxCycles is the per-invocation cycle budget (0 = unlimited). A
+	// modeling bug that stops the trace from making progress would
+	// otherwise hang a scheduler worker forever; with a budget the
+	// invocation aborts with ErrCycleBudget and the cell fails cleanly.
+	// The watchdog can only abort a run — it never alters the results of
+	// one that completes — so, like tracing and checking, it is not part
+	// of the experiment cell-cache key.
+	MaxCycles uint64
+
 	// Geometry.
 	BTB  btb.Config
 	ITLB tlb.Config

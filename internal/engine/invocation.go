@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"ignite/internal/btb"
@@ -75,6 +76,11 @@ func (s *InvocationStats) CBPMPKI() float64 { return stats.MPKI(s.CondMispredict
 // paper plots as "BPU MPKI".
 func (s *InvocationStats) BPUMPKI() float64 { return s.BTBMPKI() + s.CBPMPKI() }
 
+// ErrCycleBudget reports an invocation that exceeded Config.MaxCycles —
+// the runaway-simulation watchdog. Callers classify it as a deadline-style
+// failure (non-transient: retrying a deterministic runaway reruns it).
+var ErrCycleBudget = errors.New("cycle budget exceeded")
+
 // RunInvocation simulates one invocation of the program's handler on the
 // current microarchitectural state.
 func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) {
@@ -136,8 +142,14 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 	lastLine := ^uint64(0)
 	lookPtr := 0    // next step the front-end lookahead will prefetch
 	blockedAt := -1 // step index of an unresolved front-end divergence
+	startNow := e.nowf
 
 	for i := 0; i < n; i++ {
+		if e.cfg.MaxCycles != 0 && e.nowf-startNow > float64(e.cfg.MaxCycles) {
+			return nil, fmt.Errorf(
+				"engine: invocation seed %d aborted after %.0f cycles at step %d/%d (budget %d): %w",
+				opt.Seed, e.nowf-startNow, i, n, e.cfg.MaxCycles, ErrCycleBudget)
+		}
 		b := e.prog.Block(e.steps[i].Block)
 
 		// 1. Extend the BPU-gated prefetch lookahead.

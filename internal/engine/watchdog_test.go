@@ -1,0 +1,50 @@
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"ignite/internal/engine"
+	"ignite/internal/workload"
+)
+
+// TestMaxCyclesWatchdog proves the cycle-budget watchdog aborts a runaway
+// invocation with ErrCycleBudget, and that a generous budget never alters
+// the results of a run that completes within it.
+func TestMaxCyclesWatchdog(t *testing.T) {
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TargetInstr = 200_000
+	prog, _, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(maxCycles uint64) (*engine.InvocationStats, error) {
+		c := engine.DefaultConfig()
+		c.MaxCycles = maxCycles
+		eng := engine.New(prog, c)
+		eng.Thrash(1)
+		return eng.RunInvocation(engine.InvocationOptions{Seed: 1, MaxInstr: spec.MaxInstr()})
+	}
+
+	// A budget far below the invocation's real cost must trip the watchdog.
+	if _, err := run(100); !errors.Is(err, engine.ErrCycleBudget) {
+		t.Fatalf("tiny budget: got %v, want ErrCycleBudget", err)
+	}
+
+	// A generous budget must not perturb a completing run.
+	unbounded, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := run(1 << 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Cycles != bounded.Cycles || unbounded.Instrs != bounded.Instrs {
+		t.Errorf("budgeted run diverged: %v cycles vs %v", bounded.Cycles, unbounded.Cycles)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ignite/internal/engine"
+	"ignite/internal/faults"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/memsys"
@@ -44,6 +45,15 @@ func AblCodec(ctx context.Context, opt Options) (*Result, error) {
 		return nil, err
 	}
 	for _, w := range configs {
+		// Ablations run their cells serially; fire injected faults at the
+		// same (experiment, workload, config) granularity as the scheduler
+		// so chaos plans cover them too.
+		if err := opt.Faults.Fire(ctx, faults.Site{
+			Experiment: "abl-codec", Workload: spec.Name,
+			Config: fmt.Sprintf("%d/%d", w.pc, w.tgt),
+		}); err != nil {
+			return nil, err
+		}
 		codec := ignite.CodecConfig{DeltaPCBits: w.pc, DeltaTargetBits: w.tgt, FullAddrBits: 48}
 		ec := engine.DefaultConfig()
 		eng := engine.New(prog, ec)
@@ -85,6 +95,12 @@ func AblThrottle(ctx context.Context, opt Options) (*Result, error) {
 		var speedups, btbs, l1s []float64
 		for _, spec := range opt.Workloads {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := opt.Faults.Fire(ctx, faults.Site{
+				Experiment: "abl-throttle", Workload: spec.Name,
+				Config: fmt.Sprintf("%d", thr),
+			}); err != nil {
 				return nil, err
 			}
 			prog, _, err := spec.Build()
@@ -136,6 +152,12 @@ func AblBTB(ctx context.Context, opt Options) (*Result, error) {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
+				if err := opt.Faults.Fire(ctx, faults.Site{
+					Experiment: "abl-btb", Workload: spec.Name,
+					Config: fmt.Sprintf("%d/%s", entries, kind),
+				}); err != nil {
+					return nil, err
+				}
 				prog, _, err := spec.Build()
 				if err != nil {
 					return nil, err
@@ -178,6 +200,12 @@ func AblMetadata(ctx context.Context, opt Options) (*Result, error) {
 		var speedups, btbs, dropped []float64
 		for _, spec := range opt.Workloads {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := opt.Faults.Fire(ctx, faults.Site{
+				Experiment: "abl-metadata", Workload: spec.Name,
+				Config: fmt.Sprintf("%d", kib),
+			}); err != nil {
 				return nil, err
 			}
 			prog, _, err := spec.Build()

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"ignite/internal/cfg"
+	"ignite/internal/faults"
 	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/workload"
@@ -50,6 +52,11 @@ type cellEntry struct {
 	once sync.Once
 	c    *cell
 	err  error
+	// preloaded marks an entry injected by Preload (journal resume). The
+	// first request of a preloaded entry is not counted as a cache hit, so
+	// a resumed run reports the same cache statistics — and therefore an
+	// identical manifest — as the clean run it replays.
+	preloaded bool
 }
 
 type traceEntry struct {
@@ -106,25 +113,60 @@ func (cc *CellCache) program(spec workload.Spec) (*cfg.Program, error) {
 	return e.prog, e.err
 }
 
+// cellEnv carries the per-run knobs that shape how a fresh cell simulates
+// without affecting its result, so none of them belong in the cache key:
+// tracing and checking never alter outcomes (a check can only abort the
+// run), and the cycle-budget watchdog is abort-only.
+type cellEnv struct {
+	tracer    obs.Tracer
+	checks    bool
+	maxCycles uint64
+}
+
 // cell returns the simulated (workload, config) cell, computing it at most
 // once per unique key. The second return reports whether the cell was served
-// from the cache (an entry another request already created). tracer, when
-// non-nil, is installed on freshly simulated cells' engines; checks enables
-// the invariant verifier on them. Neither is part of the cache key: tracing
-// and checking never affect results (a check can only abort the run).
-func (cc *CellCache) cell(spec workload.Spec, rc runConfig, tracer obs.Tracer, checks bool) (*cell, bool, error) {
+// from the cache (an entry another request already created). A panic during
+// computation is recovered into a *faults.PanicError and cached as the
+// entry's error — without that, sync.Once would mark the entry done and
+// serve a nil cell to every later requester.
+func (cc *CellCache) cell(spec workload.Spec, rc runConfig, env cellEnv) (*cell, bool, error) {
 	key := cellKey(spec, rc)
 	cc.mu.Lock()
 	e, ok := cc.cells[key]
+	hit := ok
 	if !ok {
 		e = &cellEntry{}
 		cc.cells[key] = e
+	} else if e.preloaded {
+		e.preloaded = false
+		hit = false
 	} else {
 		cc.hits++
 	}
 	cc.mu.Unlock()
-	e.once.Do(func() { e.c, e.err = cc.compute(spec, rc, tracer, checks) })
-	return e.c, ok, e.err
+	e.once.Do(func() {
+		defer func() {
+			if v := recover(); v != nil {
+				e.c, e.err = nil, &faults.PanicError{Value: v, Stack: debug.Stack()}
+			}
+		}()
+		e.c, e.err = cc.compute(spec, rc, env)
+	})
+	return e.c, hit, e.err
+}
+
+// Preload installs an already-computed cell (a journal record from an
+// earlier, interrupted run) under key. Existing entries win: a preloaded
+// cell never displaces a live computation.
+func (cc *CellCache) Preload(key string, c *cell) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.cells[key]; ok {
+		return
+	}
+	e := &cellEntry{c: c, preloaded: true}
+	e.once.Do(func() {})
+	cc.cells[key] = e
 }
 
 // trace returns the committed trace for (workload, seed, budget), walking
@@ -148,14 +190,17 @@ func (cc *CellCache) trace(prog *cfg.Program, specK string, seed, maxInstr uint6
 	return e.steps, e.res, e.err
 }
 
-func (cc *CellCache) compute(spec workload.Spec, rc runConfig, tracer obs.Tracer, checks bool) (*cell, error) {
+func (cc *CellCache) compute(spec workload.Spec, rc runConfig, env cellEnv) (*cell, error) {
 	prog, err := cc.program(spec)
 	if err != nil {
 		return nil, err
 	}
-	opts := []sim.Option{sim.WithTweaks(rc.Tweak), sim.WithTracer(tracer)}
-	if checks {
+	opts := []sim.Option{sim.WithTweaks(rc.Tweak), sim.WithTracer(env.tracer)}
+	if env.checks {
 		opts = append(opts, sim.WithChecks())
+	}
+	if env.maxCycles > 0 {
+		opts = append(opts, sim.WithMaxCycles(env.maxCycles))
 	}
 	setup, err := sim.NewWithProgram(spec, prog, rc.Kind, opts...)
 	if err != nil {

@@ -5,10 +5,12 @@ package experiments_test
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"ignite/internal/check/props"
 	"ignite/internal/experiments"
+	"ignite/internal/faults"
 	"ignite/internal/workload"
 )
 
@@ -30,5 +32,42 @@ func TestDeterminism(t *testing.T) {
 	ids := []experiments.ID{"fig1", "fig8", "fig9a"}
 	if err := props.ExperimentsDeterminism(context.Background(), ids, specs); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeterminismUnderRetry extends the determinism property across the
+// fault-tolerance path: a run whose cell trips a transient error and
+// succeeds on retry must produce values bit-identical to a clean run —
+// retries re-execute the pure cell function, never perturb it.
+func TestDeterminismUnderRetry(t *testing.T) {
+	var specs []workload.Spec
+	for _, name := range []string{"Fib-G", "Auth-G"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TargetInstr /= 4
+		specs = append(specs, s)
+	}
+	run := func(plan *faults.Plan) map[string]map[string]float64 {
+		t.Helper()
+		res, err := experiments.Run(context.Background(), "fig8", experiments.Options{
+			Workloads: specs,
+			Parallel:  2,
+			Faults:    plan,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values
+	}
+	clean := run(nil)
+	plan, err := faults.Parse("transient@fig8/Auth-G/ignite:trips=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := run(plan)
+	if !reflect.DeepEqual(clean, retried) {
+		t.Errorf("retried run diverged from clean run:\nclean:   %v\nretried: %v", clean, retried)
 	}
 }

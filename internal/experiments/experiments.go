@@ -6,8 +6,10 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -16,6 +18,7 @@ import (
 
 	"ignite/internal/check"
 	"ignite/internal/engine"
+	"ignite/internal/faults"
 	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
 	"ignite/internal/sim"
@@ -55,6 +58,43 @@ type Options struct {
 	// environment gate; checking never affects results, so (like Tracer)
 	// it is not part of the cell cache key.
 	Checks bool
+	// FailurePolicy selects how cell failures affect the run: FailFast
+	// (the zero value) cancels scheduling on the first definitive failure
+	// and returns the joined errors; ContinueOnError completes every
+	// healthy cell and degrades the Result instead — failed and skipped
+	// cells surface through Result.Failures and per-cell statuses.
+	FailurePolicy FailurePolicy
+	// CellTimeout bounds each simulation attempt of one cell (0 = no
+	// deadline). An attempt that exceeds it fails with a deadline error.
+	CellTimeout time.Duration
+	// MaxCycles arms the engine's per-invocation cycle-budget watchdog on
+	// every freshly simulated cell (0 = unlimited): a runaway invocation
+	// aborts with engine.ErrCycleBudget instead of hanging its scheduler
+	// worker forever. The watchdog is abort-only — it can never alter a
+	// completing simulation — so like Tracer and Checks it is not part of
+	// the cell cache key.
+	MaxCycles uint64
+	// Retries caps transient-failure retries per cell: 0 means the
+	// default (2), negative disables retrying entirely.
+	Retries int
+	// RetryBackoff is the initial delay before a retry, doubled per
+	// attempt and capped at 2s (default 5ms).
+	RetryBackoff time.Duration
+	// Faults arms a deterministic fault-injection plan (see
+	// internal/faults): before each cell simulates, the plan may panic,
+	// delay, or fail that attempt at its (experiment, workload, config)
+	// site. Nil disables injection. Faults fire outside the cell cache,
+	// so cached results are never poisoned by an injected failure and a
+	// retried cell is bit-identical to a clean one.
+	Faults *faults.Plan
+	// Journal, when set, records every computed cell (CRC-guarded,
+	// fsynced appends) so an interrupted run can be resumed with
+	// Journal.Resume instead of recomputing finished cells.
+	Journal *Journal
+	// Health, when set, accumulates run-health counters: panics
+	// recovered, transient retries, deadline hits, failed and skipped
+	// cells.
+	Health *obs.RunHealth
 	// serialConfigs restores the pre-scheduler execution shape — one
 	// goroutine per workload running its configurations serially — and is
 	// kept only so benchmarks can measure the old path (see
@@ -88,6 +128,11 @@ type Result struct {
 	// (workload, config) cell contributing to this result, in
 	// deterministic (workload plot order, config name) order.
 	Cells []obs.CellMetrics
+	// Failures lists the cells that failed or were skipped, in submission
+	// order; empty on healthy runs. Populated under ContinueOnError,
+	// where cell failures degrade the result instead of aborting the run
+	// (the failed workloads are excluded from aggregate rows).
+	Failures []CellFailure
 }
 
 // Render returns the printable form of the result.
@@ -203,10 +248,19 @@ func (e *UnknownIDError) Error() string {
 		e.ID, strings.Join(valid, ", "))
 }
 
-// Run executes the experiment with the given ID.
-func Run(ctx context.Context, id ID, opt Options) (*Result, error) {
+// Run executes the experiment with the given ID. A panic anywhere in the
+// experiment — figure aggregation included, not just inside scheduler cells
+// — is recovered into a *faults.PanicError so one broken experiment cannot
+// take down a multi-experiment run.
+func Run(ctx context.Context, id ID, opt Options) (r *Result, err error) {
 	for _, e := range registry {
 		if e.ID == id {
+			defer func() {
+				if v := recover(); v != nil {
+					r = nil
+					err = &faults.PanicError{Value: v, Stack: debug.Stack()}
+				}
+			}()
 			return e.Run(ctx, opt)
 		}
 	}
@@ -230,6 +284,12 @@ func PaperIDs() []ID {
 // nl/interleaved baseline alone is needed by fig3, fig8, fig9a, fig11 and
 // fig12, and fig9a repeats four of fig8's configurations — are simulated
 // exactly once for the whole reproduction run.
+//
+// Under FailFast the first failing experiment aborts the sweep. Under
+// ContinueOnError a failing experiment is recorded and the sweep moves on:
+// RunAll returns every result it completed plus the joined per-experiment
+// errors. Cancellation (Ctrl-C) always ends the sweep, returning the
+// partial results under ContinueOnError.
 func RunAll(ctx context.Context, ids []ID, opt Options) ([]*Result, error) {
 	if ids == nil {
 		ids = IDs()
@@ -238,17 +298,25 @@ func RunAll(ctx context.Context, ids []ID, opt Options) ([]*Result, error) {
 		opt.Cache = NewCellCache()
 	}
 	results := make([]*Result, 0, len(ids))
+	var errs []error
 	for _, id := range ids {
 		if err := ctx.Err(); err != nil {
+			if opt.FailurePolicy == ContinueOnError {
+				return results, errors.Join(append(errs, err)...)
+			}
 			return nil, err
 		}
 		r, err := Run(ctx, id, opt)
 		if err != nil {
+			if opt.FailurePolicy == ContinueOnError && !errors.Is(err, context.Canceled) {
+				errs = append(errs, fmt.Errorf("%s: %w", id, err))
+				continue
+			}
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}
 		results = append(results, r)
 	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // runConfig holds one named simulation cell.
@@ -282,14 +350,29 @@ const (
 	mBTBRestoredUU  = "btb.restored_evicted_untouched{component=btb}"
 )
 
+// matrix is the outcome of runMatrix: the computed cells, every scheduler
+// outcome in submission order, and the set of workloads with at least one
+// failed or skipped cell. Figure aggregation excludes unhealthy workloads —
+// their rows would be incomplete — while their computed cells still ship in
+// the exported document alongside status-only entries for the missing ones.
+type matrix struct {
+	cells     map[string]map[string]*cell
+	outcomes  []schedOutcome
+	unhealthy map[string]bool
+}
+
 // runMatrix simulates every workload under every configuration by
-// submitting each (workload, config) cell independently to a bounded worker
-// pool. The generated program is built once per workload (through the cell
-// cache's program memo) and shared read-only across that workload's cells.
-// Cell failures are aggregated with errors.Join, the first failure cancels
-// cells that have not started yet, and ctx cancellation skips unstarted
-// cells the same way. Every finished cell is announced to opt.Tracer.
-func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (map[string]map[string]*cell, error) {
+// submitting each (workload, config) cell independently to the supervised
+// worker pool. The generated program is built once per workload (through
+// the cell cache's program memo) and shared read-only across that
+// workload's cells. Injected faults fire before the cache lookup, so cache
+// entries stay pure functions of their key and a retried cell is
+// bit-identical to a clean one. Under FailFast (the default) the first
+// definitive cell failure cancels unstarted cells and the run returns the
+// joined errors; under ContinueOnError every healthy cell completes and
+// the failures ride on the returned matrix instead. Every finished cell is
+// announced to opt.Tracer and appended to opt.Journal.
+func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (*matrix, error) {
 	opt = opt.withDefaults()
 	cache := opt.Cache
 	if cache == nil {
@@ -300,26 +383,39 @@ func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (ma
 		cache = NewCellCache()
 		cache.shareTraces = !opt.serialConfigs
 	}
-	out := make(map[string]map[string]*cell, len(opt.Workloads))
+	m := &matrix{
+		cells:     make(map[string]map[string]*cell, len(opt.Workloads)),
+		unhealthy: make(map[string]bool),
+	}
 	var mu sync.Mutex
 	store := func(wl, cfgName string, c *cell) {
 		mu.Lock()
-		row := out[wl]
+		row := m.cells[wl]
 		if row == nil {
 			row = make(map[string]*cell, len(configs))
-			out[wl] = row
+			m.cells[wl] = row
 		}
 		row[cfgName] = c
 		mu.Unlock()
 	}
 
+	env := cellEnv{tracer: opt.Tracer, checks: opt.Checks, maxCycles: opt.MaxCycles}
 	total := len(opt.Workloads) * len(configs)
 	var done atomic.Int64
-	runCell := func(spec workload.Spec, rc runConfig) error {
+	runCell := func(cctx context.Context, spec workload.Spec, rc runConfig) error {
 		start := time.Now()
-		c, cached, err := cache.cell(spec, rc, opt.Tracer, opt.Checks)
+		site := faults.Site{Experiment: string(id), Workload: spec.Name, Config: rc.Name}
+		if err := opt.Faults.Fire(cctx, site); err != nil {
+			return err
+		}
+		c, cached, err := cache.cell(spec, rc, env)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
+		}
+		if opt.Journal != nil {
+			if err := opt.Journal.Record(cellKey(spec, rc), site, c, opt.Faults); err != nil {
+				return fmt.Errorf("%s/%s: journal: %w", spec.Name, rc.Name, err)
+			}
 		}
 		store(spec.Name, rc.Name, c)
 		if tr := opt.Tracer; tr != nil {
@@ -339,13 +435,13 @@ func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (ma
 		return nil
 	}
 
-	sched := newScheduler(ctx, opt.Parallel)
+	sched := newScheduler(ctx, id, opt)
 	if opt.serialConfigs {
 		for _, spec := range opt.Workloads {
 			spec := spec
-			sched.submit(func() error {
+			sched.submit(spec.Name, "*", func(cctx context.Context, _ int) error {
 				for _, rc := range configs {
-					if err := runCell(spec, rc); err != nil {
+					if err := runCell(cctx, spec, rc); err != nil {
 						return err
 					}
 				}
@@ -356,39 +452,116 @@ func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (ma
 		for _, spec := range opt.Workloads {
 			for _, rc := range configs {
 				spec, rc := spec, rc
-				sched.submit(func() error { return runCell(spec, rc) })
+				sched.submit(spec.Name, rc.Name, func(cctx context.Context, _ int) error {
+					return runCell(cctx, spec, rc)
+				})
 			}
 		}
 	}
-	if err := sched.wait(); err != nil {
-		return nil, err
+	m.outcomes = sched.wait()
+	for _, o := range m.outcomes {
+		if o.status == StatusFailed || o.status == StatusSkipped {
+			m.unhealthy[o.workload] = true
+		}
 	}
-	return out, nil
+	if opt.FailurePolicy != ContinueOnError || ctx.Err() != nil {
+		if err := joinOutcomes(m.outcomes, ctx.Err()); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // attachCells copies the matrix's per-cell metric snapshots into the result
-// in deterministic (workload plot order, config name) order.
-func attachCells(r *Result, opt Options, m map[string]map[string]*cell) {
-	for _, name := range orderedNames(opt, m) {
-		row := m[name]
-		cfgs := make([]string, 0, len(row))
+// in deterministic (workload plot order, config name) order, stamps each
+// computed cell's scheduler fate, and collects failed and skipped cells
+// into r.Failures. Cells that never computed contribute status-only
+// entries, so a degraded document states what is missing and why.
+func attachCells(r *Result, opt Options, m *matrix) {
+	fates := make(map[string]schedOutcome, len(m.outcomes))
+	for _, o := range m.outcomes {
+		fates[o.workload+"\x00"+o.config] = o
+		if o.status == StatusFailed || o.status == StatusSkipped {
+			var errStr string
+			if o.err != nil {
+				errStr = o.err.Error()
+			}
+			r.Failures = append(r.Failures, CellFailure{
+				Workload: o.workload, Config: o.config,
+				Status: o.status, Attempts: o.attempts, Err: errStr,
+			})
+		}
+	}
+	for _, name := range orderedCellNames(opt, m) {
+		row := m.cells[name]
+		cfgSet := make(map[string]bool, len(row))
 		for cn := range row {
+			cfgSet[cn] = true
+		}
+		for _, o := range m.outcomes {
+			if o.workload == name {
+				cfgSet[o.config] = true
+			}
+		}
+		cfgs := make([]string, 0, len(cfgSet))
+		for cn := range cfgSet {
 			cfgs = append(cfgs, cn)
 		}
 		sort.Strings(cfgs)
 		for _, cn := range cfgs {
-			r.Cells = append(r.Cells, obs.CellMetrics{
-				Workload: name, Config: cn, Metrics: row[cn].Metrics,
-			})
+			cm := obs.CellMetrics{Workload: name, Config: cn}
+			o, hasFate := fates[name+"\x00"+cn]
+			if c := row[cn]; c != nil {
+				cm.Metrics = c.Metrics
+				if hasFate && o.status == StatusRetried {
+					cm.Status = string(StatusRetried)
+					cm.Attempts = o.attempts
+				}
+			} else if hasFate && (o.status == StatusFailed || o.status == StatusSkipped) {
+				cm.Status = string(o.status)
+				cm.Attempts = o.attempts
+				if o.err != nil {
+					cm.Error = o.err.Error()
+				}
+			} else {
+				continue
+			}
+			r.Cells = append(r.Cells, cm)
 		}
 	}
 }
 
-// orderedNames returns workload names present in m, in Table 1 order.
-func orderedNames(opt Options, m map[string]map[string]*cell) []string {
+// orderedNames returns the healthy workload names present in m, in Table 1
+// order. Workloads with any failed or skipped cell are excluded: their
+// figure rows would be incomplete, and a partial row is worse than a
+// clearly absent one.
+func orderedNames(opt Options, m *matrix) []string {
 	var names []string
 	for _, s := range opt.withDefaults().Workloads {
-		if _, ok := m[s.Name]; ok {
+		if _, ok := m.cells[s.Name]; ok && !m.unhealthy[s.Name] {
+			names = append(names, s.Name)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		return plotIndex(names[i]) < plotIndex(names[j])
+	})
+	return names
+}
+
+// orderedCellNames is orderedNames without the health filter: every
+// workload that produced a cell or a scheduler outcome, for document
+// export.
+func orderedCellNames(opt Options, m *matrix) []string {
+	present := make(map[string]bool, len(m.cells))
+	for name := range m.cells {
+		present[name] = true
+	}
+	for _, o := range m.outcomes {
+		present[o.workload] = true
+	}
+	var names []string
+	for _, s := range opt.withDefaults().Workloads {
+		if present[s.Name] {
 			names = append(names, s.Name)
 		}
 	}
@@ -460,10 +633,15 @@ func Fig2(ctx context.Context, opt Options) (*Result, error) {
 	}
 	sets := make(map[string]workload.WorkingSet, len(opt.Workloads))
 	var mu sync.Mutex
-	sched := newScheduler(ctx, opt.Parallel)
+	sched := newScheduler(ctx, "fig2", opt)
 	for _, s := range opt.Workloads {
 		s := s
-		sched.submit(func() error {
+		sched.submit(s.Name, "workingset", func(cctx context.Context, _ int) error {
+			if err := opt.Faults.Fire(cctx, faults.Site{
+				Experiment: "fig2", Workload: s.Name, Config: "workingset",
+			}); err != nil {
+				return err
+			}
 			prog, err := cache.program(s)
 			if err != nil {
 				return err
@@ -478,15 +656,33 @@ func Fig2(ctx context.Context, opt Options) (*Result, error) {
 			return nil
 		})
 	}
-	if err := sched.wait(); err != nil {
-		return nil, err
+	outs := sched.wait()
+	if opt.FailurePolicy != ContinueOnError || ctx.Err() != nil {
+		if err := joinOutcomes(outs, ctx.Err()); err != nil {
+			return nil, err
+		}
 	}
 
 	r := &Result{ID: "fig2", Title: Title("fig2")}
+	for _, o := range outs {
+		if o.status == StatusFailed || o.status == StatusSkipped {
+			var errStr string
+			if o.err != nil {
+				errStr = o.err.Error()
+			}
+			r.Failures = append(r.Failures, CellFailure{
+				Workload: o.workload, Config: o.config,
+				Status: o.status, Attempts: o.attempts, Err: errStr,
+			})
+		}
+	}
 	t := stats.NewTable(r.Title, "function", "instr WS (KiB)", "branch WS (BTB entries)", "dyn instrs")
 	var kibs, ents []float64
 	for _, s := range opt.Workloads {
-		ws := sets[s.Name]
+		ws, ok := sets[s.Name]
+		if !ok {
+			continue
+		}
 		kib := float64(ws.InstrBytes) / 1024
 		t.AddRowf(s.Name, kib, ws.BTBEntries, ws.DynInstr)
 		r.set(s.Name, "instrKiB", kib)
@@ -517,8 +713,8 @@ func Fig1(ctx context.Context, opt Options) (*Result, error) {
 		"function", "mode", "CPI", "retiring", "fetch", "badspec", "backend")
 	var degr, feShare []float64
 	for _, name := range orderedNames(opt, m) {
-		b2b := m[name]["b2b"].Res
-		il := m[name]["interleaved"].Res
+		b2b := m.cells[name]["b2b"].Res
+		il := m.cells[name]["interleaved"].Res
 		for _, pair := range []struct {
 			mode string
 			res  *lukewarm.Result
@@ -561,10 +757,10 @@ func speedupExperiment(ctx context.Context, id ID, opt Options, configs []runCon
 	t := stats.NewTable(r.Title+" — speedup over NL", header...)
 	speedups := map[string][]float64{}
 	for _, name := range orderedNames(opt, m) {
-		base := m[name]["nl"].Res.CPI()
+		base := m.cells[name]["nl"].Res.CPI()
 		row := []interface{}{name}
 		for _, c := range configs {
-			s := base / m[name][c.Name].Res.CPI()
+			s := base / m.cells[name][c.Name].Res.CPI()
 			row = append(row, s)
 			r.set(name, c.Name+"/speedup", s)
 			speedups[c.Name] = append(speedups[c.Name], s)
@@ -584,7 +780,7 @@ func speedupExperiment(ctx context.Context, id ID, opt Options, configs []runCon
 	for _, c := range all {
 		var l1, btbM, cbp []float64
 		for _, name := range orderedNames(opt, m) {
-			res := m[name][c.Name].Res
+			res := m.cells[name][c.Name].Res
 			l1 = append(l1, res.L1IMPKI())
 			btbM = append(btbM, res.BTBMPKI())
 			cbp = append(cbp, res.CBPMPKI())

@@ -60,7 +60,7 @@ func Fig6(ctx context.Context, opt Options) (*Result, error) {
 	t := stats.NewTable(r.Title, "function", "initial MPKI", "subsequent MPKI", "initial share %")
 	var shares []float64
 	for _, name := range orderedNames(opt, m) {
-		res := m[name]["bjb-warm-btb"].Res
+		res := m.cells[name]["bjb-warm-btb"].Res
 		initial := res.InitialCBPMPKI()
 		total := res.CBPMPKI()
 		share := 0.0
@@ -124,8 +124,8 @@ func Fig9b(ctx context.Context, opt Options) (*Result, error) {
 		"function", "ignite initial", "ignite subsequent", "bjb initial", "bjb subsequent", "initial covered %")
 	var covs []float64
 	for _, name := range orderedNames(opt, m) {
-		ig := m[name]["ignite"].Res
-		bg := m[name]["bjb-warm-btb"].Res
+		ig := m.cells[name]["ignite"].Res
+		bg := m.cells[name]["bjb-warm-btb"].Res
 		cov := 0.0
 		if bg.InitialCBPMPKI() > 0 {
 			cov = (1 - ig.InitialCBPMPKI()/bg.InitialCBPMPKI()) * 100
@@ -159,7 +159,7 @@ func Fig9c(ctx context.Context, opt Options) (*Result, error) {
 		"function", "L2 overpredicted %", "BTB overpredicted %", "CBP induced %")
 	var l2s, btbs, cbps []float64
 	for _, name := range orderedNames(opt, m) {
-		c := m[name]["ignite"]
+		c := m.cells[name]["ignite"]
 		inserted := c.Metrics[mIgniteInserted]
 		useful := c.Metrics[mIgniteUseful]
 		l2Over := 0.0
@@ -214,12 +214,17 @@ func Fig10(ctx context.Context, opt Options) (*Result, error) {
 		var useful, useless, rec, rep float64
 		n := 0
 		for _, name := range orderedNames(opt, m) {
-			tr := m[name][cfgName].Res.MeanTraffic()
+			tr := m.cells[name][cfgName].Res.MeanTraffic()
 			useful += float64(tr.UsefulInstrBytes) / 1024
 			useless += float64(tr.UselessInstrBytes) / 1024
 			rec += float64(tr.RecordMetaBytes) / 1024
 			rep += float64(tr.ReplayMetaBytes) / 1024
 			n++
+		}
+		if n == 0 {
+			// Every workload degraded out of the matrix; a 0/0 row would
+			// put NaNs in the document and break its JSON encoding.
+			continue
 		}
 		fn := float64(n)
 		t.AddRowf(cfgName, useful/fn, useless/fn, rec/fn, rep/fn,

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ignite/internal/faults"
+	"ignite/internal/lukewarm"
+)
+
+// Journal format constants. The journal is JSON-lines: a header line
+// identifying kind and schema, then one CRC-guarded record per computed
+// cell. Append-only with a sync per record, so a crash at any byte offset
+// loses at most the record being written — which the loader detects by CRC
+// and skips.
+const (
+	journalKind          = "ignite.run-journal"
+	journalSchemaVersion = 1
+)
+
+// journalLine is one line of the journal: either the header (Kind and
+// SchemaVersion set) or a record (Key, CRC and Cell set). CRC is the IEEE
+// CRC-32 of the raw Cell payload, computed before the enclosing line is
+// marshaled, so any torn or bit-flipped record fails verification.
+type journalLine struct {
+	Kind          string          `json:"kind,omitempty"`
+	SchemaVersion int             `json:"schemaVersion,omitempty"`
+	Key           string          `json:"key,omitempty"`
+	CRC           uint32          `json:"crc,omitempty"`
+	Cell          json.RawMessage `json:"cell,omitempty"`
+}
+
+// journalCell is the persisted form of one computed cell. lukewarm.Result
+// is plain exported data (per-invocation stats and traffic reports), so the
+// JSON round trip reproduces it exactly — resumed cells are bit-identical
+// to freshly computed ones, which the resume tests assert at the document
+// level.
+type journalCell struct {
+	Workload string             `json:"workload"`
+	Config   string             `json:"config"`
+	Res      *lukewarm.Result   `json:"res"`
+	Metrics  map[string]float64 `json:"metrics"`
+}
+
+// Journal is the crash-safe per-run record of computed cells. Record
+// appends cells as they finish; Resume preloads a cell cache from an
+// earlier journal so an interrupted run picks up where it stopped instead
+// of recomputing finished cells. Safe for concurrent use — cells finish on
+// scheduler worker goroutines.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]bool
+	path string
+}
+
+// OpenJournal opens (creating if needed) the journal at path for appending.
+// A fresh journal gets its header line immediately.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: journal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: journal: %w", err)
+	}
+	j := &Journal{f: f, seen: make(map[string]bool), path: path}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: journal: %w", err)
+	}
+	if st.Size() == 0 {
+		header, err := json.Marshal(journalLine{Kind: journalKind, SchemaVersion: journalSchemaVersion})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := j.writeLine(header); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiments: journal: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file. Records already written stay valid.
+func (j *Journal) Close() error { return j.f.Close() }
+
+func (j *Journal) writeLine(data []byte) error {
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Record appends one computed cell, keyed by its cell-cache key, and syncs
+// it to disk before returning. Keys already journaled this run (including
+// those loaded by Resume) are skipped, so cache hits and resumed cells do
+// not duplicate records. An armed corrupt-fault for the site flips the
+// record's stored CRC, which the Resume loader then rejects — exercising
+// the corruption-detection path end to end.
+func (j *Journal) Record(key string, site faults.Site, c *cell, plan *faults.Plan) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seen[key] {
+		return nil
+	}
+	payload, err := json.Marshal(journalCell{
+		Workload: site.Workload,
+		Config:   site.Config,
+		Res:      c.Res,
+		Metrics:  c.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	line := journalLine{Key: key, CRC: crc32.ChecksumIEEE(payload), Cell: payload}
+	if plan.CorruptRecord(site) {
+		// Corrupt the checksum rather than the payload: the payload is
+		// json.RawMessage, which json.Marshal validates, so flipped payload
+		// bytes would fail the write instead of producing a bad record.
+		line.CRC ^= 0xdeadbeef
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if err := j.writeLine(data); err != nil {
+		return err
+	}
+	j.seen[key] = true
+	return nil
+}
+
+// Resume loads every valid record of the journal into cc (via Preload) and
+// marks the keys seen so the resumed run does not re-append them. It is
+// corruption-tolerant: unparseable lines, CRC mismatches, and truncated
+// tails are counted in skipped and otherwise ignored — a crash mid-write
+// costs one cell, not the journal. Only a journal whose header names a
+// different kind or schema version is rejected outright.
+func (j *Journal) Resume(cc *CellCache) (loaded, skipped int, err error) {
+	f, err := os.Open(j.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: journal resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	first := true
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line journalLine
+		if uerr := json.Unmarshal(raw, &line); uerr != nil {
+			skipped++
+			continue
+		}
+		if first {
+			first = false
+			if line.Kind != "" {
+				if line.Kind != journalKind || line.SchemaVersion != journalSchemaVersion {
+					return 0, 0, fmt.Errorf("experiments: journal resume: %s is %q v%d, want %q v%d",
+						j.path, line.Kind, line.SchemaVersion, journalKind, journalSchemaVersion)
+				}
+				continue
+			}
+		}
+		if line.Key == "" || len(line.Cell) == 0 {
+			skipped++
+			continue
+		}
+		if crc32.ChecksumIEEE(line.Cell) != line.CRC {
+			skipped++
+			continue
+		}
+		var jc journalCell
+		if uerr := json.Unmarshal(line.Cell, &jc); uerr != nil || jc.Res == nil {
+			skipped++
+			continue
+		}
+		j.mu.Lock()
+		dup := j.seen[line.Key]
+		if !dup {
+			j.seen[line.Key] = true
+		}
+		j.mu.Unlock()
+		if dup {
+			continue
+		}
+		cc.Preload(line.Key, &cell{Res: jc.Res, Metrics: jc.Metrics})
+		loaded++
+	}
+	if serr := sc.Err(); serr != nil {
+		return loaded, skipped, fmt.Errorf("experiments: journal resume: %w", serr)
+	}
+	return loaded, skipped, nil
+}

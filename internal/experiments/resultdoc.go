@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 
 	"ignite/internal/obs"
@@ -28,13 +29,25 @@ func (o Options) Manifest() obs.Manifest {
 	if o.Cache != nil {
 		man.CacheCells, man.CacheHits = o.Cache.Stats()
 	}
+	if o.FailurePolicy != FailFast {
+		man.FailurePolicy = o.FailurePolicy.String()
+	}
 	return man
 }
 
 // Document serializes the result into the versioned machine-readable form
 // the CLIs export: values, presentation tables as structured rows, per-cell
-// metric snapshots, and the given run manifest.
+// metric snapshots, and the given run manifest. Failures of a degraded run
+// join the manifest's Errors list; healthy results leave it empty, keeping
+// the document byte-identical to the pre-fault-tolerance shape.
 func (r *Result) Document(man obs.Manifest) obs.Document {
+	for _, f := range r.Failures {
+		msg := fmt.Sprintf("%s/%s: %s", f.Workload, f.Config, f.Status)
+		if f.Err != "" {
+			msg = f.Err
+		}
+		man.Errors = append(man.Errors, msg)
+	}
 	doc := obs.Document{
 		SchemaVersion: obs.SchemaVersion,
 		Kind:          obs.DocumentKind,

@@ -47,11 +47,21 @@ type TableDoc struct {
 	Rows   [][]string `json:"rows"`
 }
 
-// CellMetrics is one cell's flattened metric snapshot.
+// CellMetrics is one cell's flattened metric snapshot plus its scheduler
+// fate. Status is empty for cells that simulated cleanly on the first
+// attempt (readers treat empty as "ok"); the fault-tolerance fields are
+// populated only on degraded runs so healthy documents keep their exact
+// pre-existing byte shape.
 type CellMetrics struct {
 	Workload string             `json:"workload"`
 	Config   string             `json:"config"`
 	Metrics  map[string]float64 `json:"metrics"`
+	// Status is "" (ok), "retried", "failed" or "skipped".
+	Status string `json:"status,omitempty"`
+	// Attempts counts simulation attempts when more than one was made.
+	Attempts int `json:"attempts,omitempty"`
+	// Error carries the final error of a failed cell.
+	Error string `json:"error,omitempty"`
 }
 
 // Manifest records how the run was produced: enough to re-simulate it
@@ -69,6 +79,11 @@ type Manifest struct {
 	// CacheCells/CacheHits describe the shared cell cache at export time.
 	CacheCells int `json:"cacheCells,omitempty"`
 	CacheHits  int `json:"cacheHits,omitempty"`
+	// FailurePolicy names the scheduler's failure policy when it differs
+	// from the default (fail-fast); Errors joins the per-cell failures of
+	// a degraded continue-on-error run. Both stay empty on healthy runs.
+	FailurePolicy string   `json:"failurePolicy,omitempty"`
+	Errors        []string `json:"errors,omitempty"`
 }
 
 // WorkloadManifest pins one workload of the run: its name, generator seed
@@ -115,7 +130,8 @@ func DecodeDocument(data []byte) (Document, error) {
 }
 
 // WriteFile encodes the document into dir/<name>.json, creating dir as
-// needed, and returns the written path.
+// needed, and returns the written path. The write is atomic: a crash mid-way
+// leaves either the previous document or the new one, never a torn file.
 func (d Document) WriteFile(dir, name string) (string, error) {
 	data, err := d.Encode()
 	if err != nil {
@@ -125,8 +141,45 @@ func (d Document) WriteFile(dir, name string) (string, error) {
 		return "", err
 	}
 	path := filepath.Join(dir, name+".json")
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := WriteFileAtomic(path, data, 0o644); err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// WriteFileAtomic writes data to path through a temp file in the same
+// directory: write, fsync, then rename over the destination. Readers never
+// observe a partially written file, and a crash leaves the old content
+// intact. The temp file is removed on any failure.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }

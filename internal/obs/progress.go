@@ -58,6 +58,28 @@ func (p *ProgressReporter) CellDone(e CellDoneEvent) {
 		e.Experiment, e.Done, e.Total, e.Workload, e.Config, e.Elapsed.Seconds(), eta)
 }
 
+// CellRetried implements Tracer: retries are narrated so a run that limps
+// through transient failures is visible, not silent.
+func (p *ProgressReporter) CellRetried(e CellRetriedEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "[%s] %s/%s attempt %d failed (%s), retrying in %s\n",
+		e.Experiment, e.Workload, e.Config, e.Attempt, e.Err, e.Backoff)
+}
+
+// CellFailed implements Tracer.
+func (p *ProgressReporter) CellFailed(e CellFailedEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.Status == "skipped" {
+		fmt.Fprintf(p.w, "[%s] %s/%s skipped (run canceled)\n",
+			e.Experiment, e.Workload, e.Config)
+		return
+	}
+	fmt.Fprintf(p.w, "[%s] %s/%s FAILED after %d attempt(s): %s\n",
+		e.Experiment, e.Workload, e.Config, e.Attempts, e.Err)
+}
+
 // Summary returns the totals observed so far (cells completed, of which
 // served from the cell cache).
 func (p *ProgressReporter) Summary() (cells, cacheHits int) {

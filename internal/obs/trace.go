@@ -30,6 +30,12 @@ type Tracer interface {
 	// CacheHit fires when a cell request is served from the shared
 	// cross-experiment cell cache instead of being simulated.
 	CacheHit(CacheHitEvent)
+	// CellRetried fires when a cell attempt failed with a transient error
+	// and the scheduler is about to retry it after a backoff.
+	CellRetried(CellRetriedEvent)
+	// CellFailed fires when a cell is abandoned: every attempt failed, or
+	// the run was canceled before the cell could start (skipped).
+	CellFailed(CellFailedEvent)
 }
 
 // InvocationStartEvent marks the start of one simulated invocation.
@@ -79,6 +85,30 @@ type CacheHitEvent struct {
 	Config   string `json:"config"`
 }
 
+// CellRetriedEvent marks one failed cell attempt about to be retried.
+// Attempt is the attempt that just failed (1-based); Backoff is the delay
+// before the next one.
+type CellRetriedEvent struct {
+	Experiment string        `json:"experiment"`
+	Workload   string        `json:"workload"`
+	Config     string        `json:"config"`
+	Attempt    int           `json:"attempt"`
+	Backoff    time.Duration `json:"backoffNs"`
+	Err        string        `json:"error"`
+}
+
+// CellFailedEvent marks a cell abandoned by the scheduler. Status is
+// "failed" (every attempt errored) or "skipped" (canceled before starting);
+// Attempts counts the attempts actually made (0 for skipped cells).
+type CellFailedEvent struct {
+	Experiment string `json:"experiment"`
+	Workload   string `json:"workload"`
+	Config     string `json:"config"`
+	Status     string `json:"status"`
+	Attempts   int    `json:"attempts"`
+	Err        string `json:"error,omitempty"`
+}
+
 // BaseTracer is a no-op Tracer intended for embedding, so partial
 // implementations (a progress reporter that only cares about CellDone)
 // stay small.
@@ -90,6 +120,8 @@ func (BaseTracer) ReplayStart(ReplayStartEvent)         {}
 func (BaseTracer) ReplayEnd(ReplayEndEvent)             {}
 func (BaseTracer) CellDone(CellDoneEvent)               {}
 func (BaseTracer) CacheHit(CacheHitEvent)               {}
+func (BaseTracer) CellRetried(CellRetriedEvent)         {}
+func (BaseTracer) CellFailed(CellFailedEvent)           {}
 
 var _ Tracer = BaseTracer{}
 
@@ -126,6 +158,16 @@ func (m MultiTracer) CacheHit(e CacheHitEvent) {
 		t.CacheHit(e)
 	}
 }
+func (m MultiTracer) CellRetried(e CellRetriedEvent) {
+	for _, t := range m {
+		t.CellRetried(e)
+	}
+}
+func (m MultiTracer) CellFailed(e CellFailedEvent) {
+	for _, t := range m {
+		t.CellFailed(e)
+	}
+}
 
 // Collector is a Tracer that records every event it sees — the test and
 // inspection implementation.
@@ -152,6 +194,8 @@ func (c *Collector) ReplayStart(e ReplayStartEvent)         { c.add("replay_star
 func (c *Collector) ReplayEnd(e ReplayEndEvent)             { c.add("replay_end", e) }
 func (c *Collector) CellDone(e CellDoneEvent)               { c.add("cell_done", e) }
 func (c *Collector) CacheHit(e CacheHitEvent)               { c.add("cache_hit", e) }
+func (c *Collector) CellRetried(e CellRetriedEvent)         { c.add("cell_retried", e) }
+func (c *Collector) CellFailed(e CellFailedEvent)           { c.add("cell_failed", e) }
 
 // Count returns how many events of the given type were collected
 // (all events when typ is empty).
@@ -196,3 +240,5 @@ func (t *WriterTracer) ReplayStart(e ReplayStartEvent)         { t.emit("replay_
 func (t *WriterTracer) ReplayEnd(e ReplayEndEvent)             { t.emit("replay_end", e) }
 func (t *WriterTracer) CellDone(e CellDoneEvent)               { t.emit("cell_done", e) }
 func (t *WriterTracer) CacheHit(e CacheHitEvent)               { t.emit("cache_hit", e) }
+func (t *WriterTracer) CellRetried(e CellRetriedEvent)         { t.emit("cell_retried", e) }
+func (t *WriterTracer) CellFailed(e CellFailedEvent)           { t.emit("cell_failed", e) }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"ignite/internal/check"
+	"ignite/internal/faults"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
@@ -14,9 +15,11 @@ type Option func(*settings)
 // settings is the resolved option set. Tweaks remains the internal carrier
 // so the experiment layer can keep canonical tweak-based cache keys.
 type settings struct {
-	tw     Tweaks
-	tracer obs.Tracer
-	checks bool
+	tw        Tweaks
+	tracer    obs.Tracer
+	checks    bool
+	maxCycles uint64
+	faults    *faults.Plan
 }
 
 func applyOptions(opts []Option) settings {
@@ -81,6 +84,21 @@ func WithChecks() Option {
 // invocation and replay lifecycle events.
 func WithTracer(t obs.Tracer) Option {
 	return func(s *settings) { s.tracer = t }
+}
+
+// WithMaxCycles arms the engine's per-invocation cycle-budget watchdog
+// (0 = unlimited): an invocation that exceeds the budget aborts with
+// engine.ErrCycleBudget instead of hanging its scheduler worker. The
+// watchdog can only abort a run, never alter a completing one.
+func WithMaxCycles(n uint64) Option {
+	return func(s *settings) { s.maxCycles = n }
+}
+
+// WithFaults arms a fault-injection plan on the setup: Run fires it at the
+// ("", workload, kind) site before executing the protocol, so chaos tests
+// and the IGNITE_FAULTS CLI gate can exercise single-cell runs too.
+func WithFaults(p *faults.Plan) Option {
+	return func(s *settings) { s.faults = p }
 }
 
 // WithTweaks applies a whole Tweaks bundle at once.

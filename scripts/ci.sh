@@ -55,4 +55,25 @@ go build -o "$smoke/ignite-bench" ./cmd/ignite-bench
 go test -run 'TestMutationSmoke|TestVerifyResult' ./internal/check
 go test -run TestProperties ./internal/check/props
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, mutation smoke)"
+# Chaos pass: the full experiment sweep under the canonical smoke fault plan
+# (one panic, one transient, one slow cell) plus the journal/scheduler chaos
+# tests. The -race sweep above already runs these; the named pass keeps the
+# fault-tolerance path visible on its own and honors a custom IGNITE_FAULTS.
+IGNITE_FAULTS=smoke go test ./internal/experiments -run Chaos
+
+# Resume smoke: a journaled run, then a second run resumed from that journal
+# into a different output dir — the exported documents must match except for
+# the generation timestamp.
+(
+  cd "$smoke"
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G -target-instr 200000 \
+    -journal run.journal.jsonl -out resume-a >/dev/null
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G -target-instr 200000 \
+    -journal run.journal.jsonl -resume -out resume-b >/dev/null
+  diff <(grep -v '"generated"' resume-a/fig1.json) \
+       <(grep -v '"generated"' resume-b/fig1.json)
+)
+
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, mutation smoke, chaos, resume)"
