@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +58,7 @@ type expReport struct {
 // benchReport is the BENCH.json document.
 type benchReport struct {
 	Generated   string      `json:"generated"`
+	Note        string      `json:"note,omitempty"`
 	GoVersion   string      `json:"goVersion"`
 	Workloads   int         `json:"workloads"`
 	Parallel    int         `json:"parallel"`
@@ -83,6 +85,9 @@ func main() {
 	parFlag := flag.Int("parallel", 0, "parallel cell simulations (default: NumCPU)")
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
 	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
+	benchoutFlag := flag.String("benchout", "", "write the benchmark report to this path (convention: BENCH_<n>.json, a committed trajectory of benchmark runs)")
+	noteFlag := flag.String("benchnote", "", "free-form annotation embedded in the benchmark report (e.g. before/after hot-path numbers)")
+	cpuFlag := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
 	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
 	tiFlag := flag.Uint64("target-instr", 0, "override per-invocation instruction budget (0 = each workload's own; CI smoke runs use a small value)")
@@ -196,12 +201,25 @@ func main() {
 
 	report := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
+		Note:      *noteFlag,
 		GoVersion: runtime.Version(),
 		Workloads: len(opt.Workloads),
 		Parallel:  *parFlag,
 	}
 	if report.Workloads == 0 {
 		report.Workloads = len(workload.All())
+	}
+	if *cpuFlag != "" {
+		f, err := os.Create(*cpuFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
 	}
 	totalStart := time.Now()
 	var mem runtime.MemStats
@@ -241,6 +259,10 @@ func main() {
 			BytesPerOp:  mem.TotalAlloc - bytes,
 		})
 	}
+	if *cpuFlag != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuFlag)
+	}
 	report.TotalNs = time.Since(totalStart).Nanoseconds()
 	report.CacheCells, report.CacheHits = opt.Cache.Stats()
 	if reporter != nil {
@@ -262,18 +284,27 @@ func main() {
 		}
 	}
 
+	benchPaths := make([]string, 0, 2)
 	if *jsonFlag {
+		benchPaths = append(benchPaths, "BENCH.json")
+	}
+	if *benchoutFlag != "" {
+		benchPaths = append(benchPaths, *benchoutFlag)
+	}
+	if len(benchPaths) > 0 {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := obs.WriteFileAtomic("BENCH.json", append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		for _, path := range benchPaths {
+			if err := obs.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d experiments, %d unique cells, %d cache hits)\n",
+				path, len(report.Experiments), report.CacheCells, report.CacheHits)
 		}
-		fmt.Printf("wrote BENCH.json (%d experiments, %d unique cells, %d cache hits)\n",
-			len(report.Experiments), report.CacheCells, report.CacheHits)
 	}
 
 	switch {

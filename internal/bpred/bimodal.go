@@ -33,6 +33,9 @@ type Bimodal struct {
 	// trained by a real outcome — the basis of the paper's Figure 9c
 	// "induced misprediction" accounting.
 	restored []bool
+	// version increments on every counter mutation; TAGE's lookup memo uses
+	// it to detect that a cached base prediction may have gone stale.
+	version uint64
 }
 
 // BimodalStats counts predictions made while the bimodal was the effective
@@ -68,6 +71,7 @@ func (b *Bimodal) Counter(pc uint64) uint8 { return b.ctr[b.index(pc)] }
 // Update trains the counter with the actual outcome.
 func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := b.index(pc)
+	b.version++
 	b.restored[i] = false
 	if taken {
 		if b.ctr[i] < StronglyTaken {
@@ -85,6 +89,7 @@ func (b *Bimodal) Set(pc uint64, val uint8) {
 		val = StronglyTaken
 	}
 	i := b.index(pc)
+	b.version++
 	b.ctr[i] = val
 	b.restored[i] = true
 	b.stat.Sets.Inc()
@@ -96,6 +101,7 @@ func (b *Bimodal) WasRestored(pc uint64) bool { return b.restored[b.index(pc)] }
 
 // Flush resets every counter to weakly-not-taken.
 func (b *Bimodal) Flush() {
+	b.version++
 	for i := range b.ctr {
 		b.ctr[i] = WeaklyNotTaken
 		b.restored[i] = false
@@ -105,6 +111,7 @@ func (b *Bimodal) Flush() {
 // Randomize overwrites the table with random counter states, the lukewarm
 // methodology of the paper's Section 5.3.
 func (b *Bimodal) Randomize(seed uint64) {
+	b.version++
 	rng := rand.New(rand.NewPCG(seed, seed^0xa5a5a5a5deadbeef))
 	for i := range b.ctr {
 		b.ctr[i] = uint8(rng.UintN(4))
@@ -130,5 +137,6 @@ func (b *Bimodal) Restore(snap []uint8) {
 	if len(snap) != len(b.ctr) {
 		panic("bpred: bimodal snapshot size mismatch")
 	}
+	b.version++
 	copy(b.ctr, snap)
 }

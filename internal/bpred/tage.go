@@ -24,6 +24,17 @@ type TAGE struct {
 	useAltOnNA int8 // 4-bit counter choosing alt over weak newly-allocated providers
 	allocRNG   rand.Rand
 	tick       int // usefulness aging clock
+
+	// memo caches the most recent lookup so the Predict→Update pair a branch
+	// commit performs costs one table scan instead of two. A cached result is
+	// valid only while none of the state it read has changed: Update, Flush
+	// and Restore discard it, and mutations of the bimodal base (which lookup
+	// consults for the alternate prediction) are caught by comparing the
+	// base's version counter.
+	memo     tageLookup
+	memoPC   uint64
+	memoBimV uint64
+	memoOK   bool
 }
 
 type tageEntry struct {
@@ -35,15 +46,16 @@ type tageEntry struct {
 // foldedReg maintains a cyclic-shift-register fold of the most recent
 // histLen history bits down to width bits.
 type foldedReg struct {
-	val     uint32
-	width   uint
-	histLen int
+	val      uint32
+	width    uint
+	histLen  int
+	outShift uint // histLen % width, precomputed at construction
 }
 
 func (f *foldedReg) update(newBit, oldBit uint8) {
 	f.val = (f.val << 1) | uint32(newBit)
 	// Remove the bit that falls out of the history window.
-	f.val ^= uint32(oldBit) << (uint(f.histLen) % f.width)
+	f.val ^= uint32(oldBit) << f.outShift
 	f.val ^= f.val >> f.width
 	f.val &= (1 << f.width) - 1
 }
@@ -87,9 +99,9 @@ func NewTAGE(base *Bimodal, cfg TAGEConfig) *TAGE {
 	t.foldTag = make([]foldedReg, len(cfg.HistLens))
 	t.fold2 = make([]foldedReg, len(cfg.HistLens))
 	for i, hl := range cfg.HistLens {
-		t.foldIdx[i] = foldedReg{width: cfg.TableBits, histLen: hl}
-		t.foldTag[i] = foldedReg{width: cfg.TagBits, histLen: hl}
-		t.fold2[i] = foldedReg{width: cfg.TagBits - 1, histLen: hl}
+		t.foldIdx[i] = foldedReg{width: cfg.TableBits, histLen: hl, outShift: uint(hl) % cfg.TableBits}
+		t.foldTag[i] = foldedReg{width: cfg.TagBits, histLen: hl, outShift: uint(hl) % cfg.TagBits}
+		t.fold2[i] = foldedReg{width: cfg.TagBits - 1, histLen: hl, outShift: uint(hl) % (cfg.TagBits - 1)}
 	}
 	return t
 }
@@ -143,9 +155,25 @@ func (t *TAGE) lookup(pc uint64) tageLookup {
 	return res
 }
 
+// lookupCached returns lookup(pc), reusing the memoized result when it is
+// provably still current (same pc, no TAGE mutation since, same bimodal
+// version). useAltOnNA is not part of the key: it only steers selection in
+// Predict/Update, never the lookup itself.
+func (t *TAGE) lookupCached(pc uint64) tageLookup {
+	if t.memoOK && t.memoPC == pc && t.memoBimV == t.base.version {
+		return t.memo
+	}
+	lk := t.lookup(pc)
+	t.memo = lk
+	t.memoPC = pc
+	t.memoBimV = t.base.version
+	t.memoOK = true
+	return lk
+}
+
 // Predict returns the TAGE prediction for pc.
 func (t *TAGE) Predict(pc uint64) bool {
-	lk := t.lookup(pc)
+	lk := t.lookupCached(pc)
 	if lk.provider >= 0 && lk.weakNew && t.useAltOnNA >= 0 {
 		return lk.altpred
 	}
@@ -156,7 +184,8 @@ func (t *TAGE) Predict(pc uint64) bool {
 // The bimodal base is always trained, keeping BIM state meaningful on its
 // own (the property Ignite's BIM-only restore depends on).
 func (t *TAGE) Update(pc uint64, taken bool) {
-	lk := t.lookup(pc)
+	lk := t.lookupCached(pc)
+	t.memoOK = false // everything below mutates state lookups read
 	pred := lk.provPred
 	if lk.provider >= 0 && lk.weakNew && t.useAltOnNA >= 0 {
 		pred = lk.altpred
@@ -255,14 +284,21 @@ func (t *TAGE) pushHistory(taken bool) {
 		t.foldTag[i].update(nb, old)
 		t.fold2[i].update(nb, old)
 	}
-	t.ghead = (t.ghead + 1) % maxHist
+	t.ghead++
+	if t.ghead >= maxHist {
+		t.ghead = 0
+	}
 	t.ghist[t.ghead] = nb
 }
 
 // histBit returns the history bit `back` positions ago (0 = most recent).
+// Callers pass back < len(ghist)-1, so one conditional add replaces the
+// modulo reductions.
 func (t *TAGE) histBit(back int) uint8 {
-	maxHist := len(t.ghist) - 1
-	idx := (t.ghead - back%maxHist + maxHist) % maxHist
+	idx := t.ghead - back
+	if idx < 0 {
+		idx += len(t.ghist) - 1
+	}
 	return t.ghist[idx]
 }
 
@@ -284,6 +320,7 @@ func (t *TAGE) Flush() {
 	}
 	t.ghead = 0
 	t.useAltOnNA = 0
+	t.memoOK = false
 }
 
 // TAGESnapshot captures the complete TAGE state.
@@ -325,4 +362,5 @@ func (t *TAGE) Restore(s *TAGESnapshot) {
 	copy(t.foldTag, s.foldTag)
 	copy(t.fold2, s.fold2)
 	t.useAltOnNA = s.useAltOnNA
+	t.memoOK = false
 }

@@ -46,19 +46,22 @@ type Stats struct {
 	RestoredEvictedUU stats.Counter // restored entries evicted untouched
 }
 
-type way struct {
-	valid    bool
-	tag      uint64
-	target   uint64
-	kind     cfg.BranchKind
-	restored bool // inserted by Ignite replay and not yet accessed
-	lastUse  uint64
-	// vmID tags the entry with the virtual machine that created it
-	// (Arm FEAT_CSV2-style BTB tagging, Section 4.4 of the paper):
-	// entries are only usable by the VM that owns them, so replayed
-	// entries from a malicious VM cannot steer another VM's speculation.
-	vmID uint16
-}
+// Storage is struct-of-arrays: one packed key word per way carries
+// everything a match scan reads (valid bit, partial tag, VM ID), so a 6-way
+// probe touches 48 contiguous bytes instead of six 40-byte structs. Payload
+// (target, kind), recency and the restored mark live in parallel arrays read
+// only on a hit or during victim selection.
+// The VM ID tags the entry with the virtual machine that created it (Arm
+// FEAT_CSV2-style BTB tagging, Section 4.4 of the paper): when tagging is
+// enabled, entries are only usable by the VM that owns them, so replayed
+// entries from a malicious VM cannot steer another VM's speculation.
+const (
+	keyValid   = uint64(1) << 63 // set ⇒ way holds an entry
+	keyVMShift = 44              // vmID occupies bits 44..59; tag ≤ 40 bits
+	keyVMMask  = uint64(0xffff) << keyVMShift
+)
+
+const metaRestored = uint8(1) // inserted by Ignite replay and not yet accessed
 
 // BTB is a set-associative branch target buffer. Construct with New.
 type BTB struct {
@@ -66,7 +69,11 @@ type BTB struct {
 	sets    int
 	setMask uint64
 	tagMask uint64
-	ways    []way
+	keys    []uint64 // keyValid | vmID<<keyVMShift | tag, set-major
+	targets []uint64
+	kinds   []cfg.BranchKind
+	meta    []uint8 // metaRestored
+	lastUse []uint64
 	tick    uint64
 	stats   Stats
 
@@ -99,7 +106,11 @@ func New(c Config) (*BTB, error) {
 		sets:    sets,
 		setMask: uint64(sets - 1),
 		tagMask: (1 << uint(c.TagBits)) - 1,
-		ways:    make([]way, c.Entries),
+		keys:    make([]uint64, c.Entries),
+		targets: make([]uint64, c.Entries),
+		kinds:   make([]cfg.BranchKind, c.Entries),
+		meta:    make([]uint8, c.Entries),
+		lastUse: make([]uint64, c.Entries),
 	}, nil
 }
 
@@ -139,33 +150,41 @@ func (b *BTB) index(pc uint64) (set uint64, tag uint64) {
 	return
 }
 
-func (b *BTB) setSlice(set uint64) []way {
-	start := int(set) * b.cfg.Ways
-	return b.ways[start : start+b.cfg.Ways]
+// matchSpec builds the equality scan for the current VM context: without
+// tagging the VM field is masked out (entries match regardless of owner,
+// exactly as before the SoA layout); with tagging it participates in the
+// comparison, so a tag match owned by another VM simply fails equality and
+// the scan continues — the original "unusable across VM boundaries" rule.
+func (b *BTB) matchSpec(tag uint64) (want, mask uint64) {
+	want = keyValid | tag
+	mask = keyValid | b.tagMask
+	if b.tagging {
+		want |= uint64(b.currentVM) << keyVMShift
+		mask |= keyVMMask
+	}
+	return want, mask
 }
 
 // Lookup queries the BTB for a branch at pc. A hit updates recency and
 // clears the restored-untouched mark.
 func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 	set, tag := b.index(pc)
-	ws := b.setSlice(set)
+	base := int(set) * b.cfg.Ways
+	ks := b.keys[base : base+b.cfg.Ways]
+	want, mask := b.matchSpec(tag)
 	b.stats.Lookups.Inc()
-	for i := range ws {
-		w := &ws[i]
-		if w.valid && w.tag == tag {
-			if b.tagging && w.vmID != b.currentVM {
-				// Tagged entries are unusable across VM boundaries.
-				continue
-			}
+	for i := range ks {
+		if ks[i]&mask == want {
+			j := base + i
 			b.stats.Hits.Inc()
 			b.tick++
-			w.lastUse = b.tick
-			if w.restored {
-				w.restored = false
+			b.lastUse[j] = b.tick
+			if b.meta[j]&metaRestored != 0 {
+				b.meta[j] &^= metaRestored
 				b.restoredUntouched--
 				b.stats.RestoredUsed.Inc()
 			}
-			return Entry{PC: pc, Target: w.target, Kind: w.kind}, true
+			return Entry{PC: pc, Target: b.targets[j], Kind: b.kinds[j]}, true
 		}
 	}
 	return Entry{}, false
@@ -174,9 +193,11 @@ func (b *BTB) Lookup(pc uint64) (Entry, bool) {
 // Contains probes without updating recency or restored tracking.
 func (b *BTB) Contains(pc uint64) bool {
 	set, tag := b.index(pc)
-	for i := range b.setSlice(set) {
-		w := &b.setSlice(set)[i]
-		if w.valid && w.tag == tag && (!b.tagging || w.vmID == b.currentVM) {
+	base := int(set) * b.cfg.Ways
+	ks := b.keys[base : base+b.cfg.Ways]
+	want, mask := b.matchSpec(tag)
+	for i := range ks {
+		if ks[i]&mask == want {
 			return true
 		}
 	}
@@ -188,49 +209,49 @@ func (b *BTB) Contains(pc uint64) bool {
 // the recorder hook; commit-time insertions do.
 func (b *BTB) Insert(e Entry, restored bool) {
 	set, tag := b.index(e.PC)
-	ws := b.setSlice(set)
+	base := int(set) * b.cfg.Ways
+	ks := b.keys[base : base+b.cfg.Ways]
+	want, mask := b.matchSpec(tag)
 	b.tick++
-	for i := range ws {
-		w := &ws[i]
-		if w.valid && w.tag == tag && (!b.tagging || w.vmID == b.currentVM) {
+	for i := range ks {
+		if ks[i]&mask == want {
 			// Target update (e.g. indirect branch retarget) — not a
 			// new allocation; no recording.
-			w.target = e.Target
-			w.kind = e.Kind
-			w.lastUse = b.tick
+			j := base + i
+			b.targets[j] = e.Target
+			b.kinds[j] = e.Kind
+			b.lastUse[j] = b.tick
 			return
 		}
 	}
 	victim := 0
 	var oldest uint64 = ^uint64(0)
-	for i := range ws {
-		w := &ws[i]
-		if !w.valid {
+	for i := range ks {
+		if ks[i]&keyValid == 0 {
 			victim = i
 			oldest = 0
 			break
 		}
-		if w.lastUse < oldest {
-			oldest = w.lastUse
+		if lu := b.lastUse[base+i]; lu < oldest {
+			oldest = lu
 			victim = i
 		}
 	}
-	v := &ws[victim]
-	if v.valid {
+	j := base + victim
+	if b.keys[j]&keyValid != 0 {
 		b.stats.Evictions.Inc()
-		if v.restored {
+		if b.meta[j]&metaRestored != 0 {
 			b.restoredUntouched--
 			b.stats.RestoredEvictedUU.Inc()
 		}
 	}
-	*v = way{
-		valid:    true,
-		tag:      tag,
-		target:   e.Target,
-		kind:     e.Kind,
-		restored: restored,
-		lastUse:  b.tick,
-		vmID:     b.currentVM,
+	b.keys[j] = keyValid | uint64(b.currentVM)<<keyVMShift | tag
+	b.targets[j] = e.Target
+	b.kinds[j] = e.Kind
+	b.lastUse[j] = b.tick
+	b.meta[j] = 0
+	if restored {
+		b.meta[j] = metaRestored
 	}
 	b.stats.Inserts.Inc()
 	if restored {
@@ -248,11 +269,15 @@ func (b *BTB) RestoredUntouched() int { return b.restoredUntouched }
 // Flush invalidates all entries (interleaving thrash). Restored entries
 // still resident count as evicted-untouched.
 func (b *BTB) Flush() {
-	for i := range b.ways {
-		if b.ways[i].valid && b.ways[i].restored {
+	for i := range b.keys {
+		if b.keys[i]&keyValid != 0 && b.meta[i]&metaRestored != 0 {
 			b.stats.RestoredEvictedUU.Inc()
 		}
-		b.ways[i] = way{}
+		b.keys[i] = 0
+		b.targets[i] = 0
+		b.kinds[i] = 0
+		b.meta[i] = 0
+		b.lastUse[i] = 0
 	}
 	b.restoredUntouched = 0
 	b.tick = 0
@@ -262,11 +287,11 @@ func (b *BTB) Flush() {
 // measurement window: resident restored-but-unused entries count as unused.
 func (b *BTB) SweepRestoredUnused() int {
 	n := 0
-	for i := range b.ways {
-		if b.ways[i].valid && b.ways[i].restored {
+	for i := range b.keys {
+		if b.keys[i]&keyValid != 0 && b.meta[i]&metaRestored != 0 {
 			n++
 			b.stats.RestoredEvictedUU.Inc()
-			b.ways[i].restored = false
+			b.meta[i] &^= metaRestored
 		}
 	}
 	b.restoredUntouched = 0
@@ -276,8 +301,8 @@ func (b *BTB) SweepRestoredUnused() int {
 // Occupancy returns the number of valid entries.
 func (b *BTB) Occupancy() int {
 	n := 0
-	for i := range b.ways {
-		if b.ways[i].valid {
+	for i := range b.keys {
+		if b.keys[i]&keyValid != 0 {
 			n++
 		}
 	}
@@ -289,15 +314,23 @@ func (b *BTB) ResetStats() { b.stats = Stats{} }
 
 // Snapshot is an opaque deep copy of BTB contents.
 type Snapshot struct {
-	ways []way
+	keys    []uint64
+	targets []uint64
+	kinds   []cfg.BranchKind
+	meta    []uint8
+	lastUse []uint64
 }
 
 // Snapshot returns a deep copy of the BTB contents (used by the warm-BTB
 // preservation studies of Figures 4 and 5).
 func (b *BTB) Snapshot() *Snapshot {
-	cp := make([]way, len(b.ways))
-	copy(cp, b.ways)
-	return &Snapshot{ways: cp}
+	return &Snapshot{
+		keys:    append([]uint64(nil), b.keys...),
+		targets: append([]uint64(nil), b.targets...),
+		kinds:   append([]cfg.BranchKind(nil), b.kinds...),
+		meta:    append([]uint8(nil), b.meta...),
+		lastUse: append([]uint64(nil), b.lastUse...),
+	}
 }
 
 // ContentEqual reports whether two snapshots hold the same architectural
@@ -305,19 +338,20 @@ func (b *BTB) Snapshot() *Snapshot {
 // Recency (lastUse) is ignored — it is replacement heuristic state, not
 // content, and legitimately differs between two replays of the same stream.
 func (s *Snapshot) ContentEqual(o *Snapshot) bool {
-	if len(s.ways) != len(o.ways) {
+	if len(s.keys) != len(o.keys) {
 		return false
 	}
-	for i := range s.ways {
-		a, b := &s.ways[i], &o.ways[i]
-		if a.valid != b.valid {
+	for i := range s.keys {
+		// The key word packs valid, tag and vmID, so one compare covers
+		// all three.
+		if s.keys[i] != o.keys[i] {
 			return false
 		}
-		if !a.valid {
+		if s.keys[i]&keyValid == 0 {
 			continue
 		}
-		if a.tag != b.tag || a.target != b.target || a.kind != b.kind ||
-			a.restored != b.restored || a.vmID != b.vmID {
+		if s.targets[i] != o.targets[i] || s.kinds[i] != o.kinds[i] ||
+			s.meta[i]&metaRestored != o.meta[i]&metaRestored {
 			return false
 		}
 	}
@@ -326,13 +360,17 @@ func (s *Snapshot) ContentEqual(o *Snapshot) bool {
 
 // Restore reinstates a snapshot taken from an identically configured BTB.
 func (b *BTB) Restore(snap *Snapshot) {
-	if len(snap.ways) != len(b.ways) {
+	if len(snap.keys) != len(b.keys) {
 		panic("btb: snapshot geometry mismatch")
 	}
-	copy(b.ways, snap.ways)
+	copy(b.keys, snap.keys)
+	copy(b.targets, snap.targets)
+	copy(b.kinds, snap.kinds)
+	copy(b.meta, snap.meta)
+	copy(b.lastUse, snap.lastUse)
 	b.restoredUntouched = 0
-	for i := range b.ways {
-		if b.ways[i].restored {
+	for i := range b.keys {
+		if b.meta[i]&metaRestored != 0 {
 			b.restoredUntouched++
 		}
 	}

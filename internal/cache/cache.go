@@ -8,6 +8,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"ignite/internal/stats"
 )
@@ -64,24 +65,36 @@ type Stats struct {
 	PrefetchUnused stats.Counter // prefetched/restored lines evicted or swept untouched
 }
 
-type line struct {
-	tag     uint64
-	valid   bool
-	prov    Provenance
-	touched bool // demand-accessed since fill
-	lastUse uint64
-}
+// Each way is one packed word: the line tag in the high 32 bits, the LRU
+// timestamp in the low 32. The set scan (tag match) and the victim scan
+// (min timestamp) therefore read the same dense row of words — for an 8-way
+// set that is a single host cache line instead of three. tagEmpty32 marks an
+// invalid way; locate rejects addresses whose tag would reach the sentinel.
+const (
+	tagEmpty32 = ^uint32(0)
+	emptyWord  = uint64(tagEmpty32) << 32
+	maxTick    = ^uint32(0) - 1 // renormalize before the timestamp can wrap
+)
+
+// Line metadata is packed into one byte per way: the low two bits hold the
+// Provenance, bit 2 the demand-touched flag.
+const (
+	metaProvMask = 0b011
+	metaTouched  = 0b100
+)
 
 // Cache is a single set-associative, LRU, write-allocate cache level. The
 // zero value is not usable; construct with New.
 type Cache struct {
 	cfg      Config
 	sets     int
+	ways     int // == cfg.Ways, hoisted for the per-access set math
 	lineBits uint
 	setBits  uint // log2(sets), hoisted out of the per-access tag math
 	setMask  uint64
-	lines    []line // sets*ways, set-major
-	tick     uint64
+	pk       []uint64 // sets*ways, set-major: tag<<32 | lastUse
+	meta     []uint8  // provenance + touched bits, parallel to pk
+	tick     uint32
 	stats    Stats
 }
 
@@ -102,14 +115,20 @@ func New(cfg Config) (*Cache, error) {
 	if bits.OnesCount(uint(sets)) != 1 {
 		return nil, fmt.Errorf("cache %s: %d sets not a power of two", cfg.Name, sets)
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
+		ways:     cfg.Ways,
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setBits:  uint(bits.TrailingZeros(uint(sets))),
 		setMask:  uint64(sets - 1),
-		lines:    make([]line, lines),
-	}, nil
+		pk:       make([]uint64, lines),
+		meta:     make([]uint8, lines),
+	}
+	for i := range c.pk {
+		c.pk[i] = emptyWord
+	}
+	return c, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -132,12 +151,46 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 	return addr >> c.lineBits << c.lineBits
 }
 
-// locate splits addr into its set slice and tag with one shift of the line
-// index — the hottest few instructions in the whole simulator.
-func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+// locate splits addr into its set's base index and tag with one shift of the
+// line index — the hottest few instructions in the whole simulator. The tag
+// is returned as uint64 so a probe whose tag exceeds 32 bits compares not-
+// equal against every stored (32-bit) tag instead of aliasing by truncation;
+// fill rejects such addresses outright, so they can never become resident.
+func (c *Cache) locate(addr uint64) (base int, tag uint64) {
 	lineIdx := addr >> c.lineBits
-	start := int(lineIdx&c.setMask) * c.cfg.Ways
-	return c.lines[start : start+c.cfg.Ways], lineIdx >> c.setBits
+	return int(lineIdx&c.setMask) * c.ways, lineIdx >> c.setBits
+}
+
+// nextTick advances the LRU clock. When the 32-bit timestamp space is about
+// to wrap, every set's timestamps are renormalized to their rank order —
+// relative recency (the only thing LRU replacement reads) is preserved
+// exactly, so replacement behaviour is unchanged across a renormalization.
+func (c *Cache) nextTick() uint32 {
+	if c.tick >= maxTick {
+		c.renormalizeTicks()
+	}
+	c.tick++
+	return c.tick
+}
+
+func (c *Cache) renormalizeTicks() {
+	order := make([]int, 0, c.ways)
+	for base := 0; base < len(c.pk); base += c.ways {
+		order = order[:0]
+		for i := 0; i < c.ways; i++ {
+			if c.pk[base+i] != emptyWord {
+				order = append(order, i)
+			}
+		}
+		row := c.pk[base : base+c.ways]
+		sort.Slice(order, func(a, b int) bool {
+			return uint32(row[order[a]]) < uint32(row[order[b]])
+		})
+		for rank, i := range order {
+			row[i] = row[i]&^uint64(^uint32(0)) | uint64(rank+1)
+		}
+	}
+	c.tick = uint32(c.ways)
 }
 
 // AccessResult describes a cache lookup.
@@ -155,25 +208,26 @@ type AccessResult struct {
 // Access looks up addr. A demand access updates recency and the touched
 // bit; a non-demand access (prefetcher probe) updates neither.
 func (c *Cache) Access(addr uint64, demand bool) AccessResult {
-	set, tag := c.locate(addr)
+	base, tag := c.locate(addr)
+	ps := c.pk[base : base+c.ways]
 	if demand {
 		c.stats.Accesses.Inc()
 	}
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
+	for i := range ps {
+		if ps[i]>>32 == tag {
+			m := c.meta[base+i]
+			prov := Provenance(m & metaProvMask)
 			if !demand {
-				return AccessResult{Hit: true, Prov: ln.prov}
+				return AccessResult{Hit: true, Prov: prov}
 			}
 			c.stats.Hits.Inc()
-			c.tick++
-			ln.lastUse = c.tick
-			first := !ln.touched && ln.prov != ProvDemand
+			ps[i] = tag<<32 | uint64(c.nextTick())
+			first := m&metaTouched == 0 && prov != ProvDemand
 			if first {
 				c.stats.PrefetchUseful.Inc()
 			}
-			ln.touched = true
-			return AccessResult{Hit: true, FirstTouch: first, Prov: ln.prov}
+			c.meta[base+i] = m | metaTouched
+			return AccessResult{Hit: true, FirstTouch: first, Prov: prov}
 		}
 	}
 	if demand {
@@ -184,9 +238,10 @@ func (c *Cache) Access(addr uint64, demand bool) AccessResult {
 
 // Contains reports whether addr is resident without disturbing any state.
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base, tag := c.locate(addr)
+	ps := c.pk[base : base+c.ways]
+	for i := range ps {
+		if ps[i]>>32 == tag {
 			return true
 		}
 	}
@@ -204,52 +259,74 @@ type Eviction struct {
 // any). Inserting a line that is already resident refreshes recency and
 // upgrades wrong-path/prefetch provenance to demand when prov is demand.
 func (c *Cache) Insert(addr uint64, prov Provenance) (Eviction, bool) {
-	set, tag := c.locate(addr)
-	c.tick++
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
-			ln.lastUse = c.tick
+	base, tag := c.locate(addr)
+	ps := c.pk[base : base+c.ways]
+	tick := c.nextTick()
+	for i := range ps {
+		if ps[i]>>32 == tag {
+			ps[i] = tag<<32 | uint64(tick)
 			if prov == ProvDemand {
-				ln.prov = ProvDemand
-				ln.touched = true
+				c.meta[base+i] = uint8(ProvDemand) | metaTouched
 			}
 			return Eviction{}, false
 		}
 	}
-	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for i := range set {
-		ln := &set[i]
-		if !ln.valid {
+	return c.fill(addr, base, tag, tick, prov)
+}
+
+// InsertAbsent is Insert for a line the caller has just proven absent (a
+// missed Access or failed Contains on this cache with no intervening insert):
+// it skips the existing-copy scan and goes straight to victim selection.
+func (c *Cache) InsertAbsent(addr uint64, prov Provenance) (Eviction, bool) {
+	base, tag := c.locate(addr)
+	return c.fill(addr, base, tag, c.nextTick(), prov)
+}
+
+// fill places addr into an invalid way, or the LRU victim when the set is
+// full (first invalid way wins, then strictly-oldest timestamp — the same
+// selection order as the original two-pass scan).
+func (c *Cache) fill(addr uint64, base int, tag uint64, tick uint32, prov Provenance) (Eviction, bool) {
+	if tag >= uint64(tagEmpty32) {
+		panic(fmt.Sprintf("cache %s: address %#x out of the 32-bit tag range", c.cfg.Name, addr))
+	}
+	ps := c.pk[base : base+c.ways]
+	victim := 0
+	var oldest uint32 = ^uint32(0)
+	for i := range ps {
+		w := ps[i]
+		if w == emptyWord {
 			victim = i
+			oldest = 0
 			break
 		}
-		if ln.lastUse < oldest {
-			oldest = ln.lastUse
+		if uint32(w) < oldest {
+			oldest = uint32(w)
 			victim = i
 		}
 	}
 	ev := Eviction{}
 	hadEv := false
-	v := &set[victim]
-	if v.valid {
+	if w := ps[victim]; w != emptyWord {
 		hadEv = true
+		m := c.meta[base+victim]
 		setIdx := (addr >> c.lineBits) & c.setMask
-		evLineIdx := v.tag<<c.setBits | setIdx
-		ev = Eviction{LineAddr: evLineIdx << c.lineBits, Prov: v.prov, Touched: v.touched}
+		evLineIdx := (w>>32)<<c.setBits | setIdx
+		ev = Eviction{
+			LineAddr: evLineIdx << c.lineBits,
+			Prov:     Provenance(m & metaProvMask),
+			Touched:  m&metaTouched != 0,
+		}
 		c.stats.Evictions.Inc()
-		if !v.touched && v.prov != ProvDemand {
+		if m&metaTouched == 0 && Provenance(m&metaProvMask) != ProvDemand {
 			c.stats.PrefetchUnused.Inc()
 		}
 	}
-	*v = line{
-		tag:     tag,
-		valid:   true,
-		prov:    prov,
-		touched: prov == ProvDemand,
-		lastUse: c.tick,
+	ps[victim] = tag<<32 | uint64(tick)
+	m := uint8(prov)
+	if prov == ProvDemand {
+		m |= metaTouched
 	}
+	c.meta[base+victim] = m
 	c.stats.Inserts.Inc()
 	return ev, hadEv
 }
@@ -257,12 +334,15 @@ func (c *Cache) Insert(addr uint64, prov Provenance) (Eviction, bool) {
 // Flush invalidates every line, modeling thrashing by interleaved
 // executions. Untouched prefetched lines are counted as unused.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if ln.valid && !ln.touched && ln.prov != ProvDemand {
-			c.stats.PrefetchUnused.Inc()
+	for i := range c.pk {
+		if c.pk[i] != emptyWord {
+			m := c.meta[i]
+			if m&metaTouched == 0 && Provenance(m&metaProvMask) != ProvDemand {
+				c.stats.PrefetchUnused.Inc()
+			}
 		}
-		c.lines[i] = line{}
+		c.pk[i] = emptyWord
+		c.meta[i] = 0
 	}
 	c.tick = 0
 }
@@ -272,9 +352,12 @@ func (c *Cache) Flush() {
 // are counted as unused without invalidating them.
 func (c *Cache) SweepUnused() int {
 	n := 0
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if ln.valid && !ln.touched && ln.prov != ProvDemand {
+	for i := range c.pk {
+		if c.pk[i] == emptyWord {
+			continue
+		}
+		m := c.meta[i]
+		if m&metaTouched == 0 && Provenance(m&metaProvMask) != ProvDemand {
 			c.stats.PrefetchUnused.Inc()
 			n++
 		}
@@ -287,14 +370,16 @@ func (c *Cache) SweepUnused() int {
 // level evicts a line, inner copies must go too. An untouched
 // prefetched/restored line counts as unused, exactly as in an eviction.
 func (c *Cache) Invalidate(addr uint64) bool {
-	set, tag := c.locate(addr)
-	for i := range set {
-		ln := &set[i]
-		if ln.valid && ln.tag == tag {
-			if !ln.touched && ln.prov != ProvDemand {
+	base, tag := c.locate(addr)
+	ps := c.pk[base : base+c.ways]
+	for i := range ps {
+		if ps[i]>>32 == tag {
+			m := c.meta[base+i]
+			if m&metaTouched == 0 && Provenance(m&metaProvMask) != ProvDemand {
 				c.stats.PrefetchUnused.Inc()
 			}
-			*ln = line{}
+			ps[i] = emptyWord
+			c.meta[base+i] = 0
 			return true
 		}
 	}
@@ -305,13 +390,12 @@ func (c *Cache) Invalidate(addr uint64) bool {
 // iteration surface the inclusion invariant (internal/check) audits.
 func (c *Cache) Lines() []uint64 {
 	out := make([]uint64, 0, 64)
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
+	for i := range c.pk {
+		if c.pk[i] == emptyWord {
 			continue
 		}
-		setIdx := uint64(i/c.cfg.Ways) & c.setMask
-		out = append(out, (ln.tag<<c.setBits|setIdx)<<c.lineBits)
+		setIdx := uint64(i/c.ways) & c.setMask
+		out = append(out, ((c.pk[i]>>32)<<c.setBits|setIdx)<<c.lineBits)
 	}
 	return out
 }
@@ -322,8 +406,8 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for i := range c.pk {
+		if c.pk[i] != emptyWord {
 			n++
 		}
 	}

@@ -169,6 +169,15 @@ func (h *Hierarchy) insertL2(la uint64, prov Provenance) {
 	}
 }
 
+// insertL2Absent is insertL2 for a line just proven absent from the L2 (a
+// missed L2 access or failed Contains with no intervening L2 insert).
+func (h *Hierarchy) insertL2Absent(la uint64, prov Provenance) {
+	if ev, ok := h.L2.InsertAbsent(la, prov); ok {
+		h.L1I.Invalidate(ev.LineAddr)
+		h.L1D.Invalidate(ev.LineAddr)
+	}
+}
+
 // FetchInstr performs a demand instruction fetch of the line containing
 // addr, filling missing levels on the way. wrongPath marks fetches issued
 // beyond a front-end divergence. It returns the access latency, the level
@@ -197,7 +206,7 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 	prov := provFor(src)
 
 	if res := h.L2.Access(la, true); res.Hit {
-		h.L1I.Insert(la, prov)
+		h.L1I.InsertAbsent(la, prov)
 		if !wrongPath && h.tracker != nil {
 			h.tracker.DemandTouch(la)
 		}
@@ -206,8 +215,8 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 	h.stats.InstrL2Misses.Inc()
 
 	if res := h.LLC.Access(la, true); res.Hit {
-		h.insertL2(la, prov)
-		h.L1I.Insert(la, prov)
+		h.insertL2Absent(la, prov)
+		h.L1I.InsertAbsent(la, prov)
 		if !wrongPath && h.tracker != nil {
 			h.tracker.DemandTouch(la)
 		}
@@ -222,9 +231,9 @@ func (h *Hierarchy) FetchInstr(addr uint64, wrongPath bool) (lat int, lvl Level,
 			h.tracker.DemandTouch(la)
 		}
 	}
-	h.LLC.Insert(la, prov)
-	h.insertL2(la, prov)
-	h.L1I.Insert(la, prov)
+	h.LLC.InsertAbsent(la, prov)
+	h.insertL2Absent(la, prov)
+	h.L1I.InsertAbsent(la, prov)
 	return h.Lat.Mem, LvlMem, false
 }
 
@@ -264,15 +273,16 @@ func (h *Hierarchy) PrefetchInstr(addr uint64, src Source, into Level) (from Lev
 			h.tracker.MemFetch(la, src)
 		}
 		h.stats.PrefetchFromMem[src].Inc()
-		h.LLC.Insert(la, prov)
+		h.LLC.InsertAbsent(la, prov)
 	}
 	if into == LvlL1I {
 		if from == LvlMem || from == LvlLLC {
-			h.insertL2(la, prov)
+			// from != LvlL2 means the L2 probe above came up empty.
+			h.insertL2Absent(la, prov)
 		}
-		h.L1I.Insert(la, prov)
+		h.L1I.InsertAbsent(la, prov)
 	} else if into == LvlL2 {
-		h.insertL2(la, prov)
+		h.insertL2Absent(la, prov)
 	}
 	if h.tracker != nil {
 		h.tracker.Inserted(la, src, into)
@@ -290,21 +300,21 @@ func (h *Hierarchy) AccessData(addr uint64) (lat int, lvl Level) {
 	}
 	h.stats.DataL1Misses.Inc()
 	if res := h.L2.Access(la, true); res.Hit {
-		h.L1D.Insert(la, ProvDemand)
+		h.L1D.InsertAbsent(la, ProvDemand)
 		return h.Lat.L2, LvlL2
 	}
 	if res := h.LLC.Access(la, true); res.Hit {
-		h.insertL2(la, ProvDemand)
-		h.L1D.Insert(la, ProvDemand)
+		h.insertL2Absent(la, ProvDemand)
+		h.L1D.InsertAbsent(la, ProvDemand)
 		return h.Lat.LLC, LvlLLC
 	}
 	h.stats.DataLLCMisses.Inc()
 	if h.tracker != nil {
 		h.tracker.MemFetch(la, SrcData)
 	}
-	h.LLC.Insert(la, ProvDemand)
-	h.insertL2(la, ProvDemand)
-	h.L1D.Insert(la, ProvDemand)
+	h.LLC.InsertAbsent(la, ProvDemand)
+	h.insertL2Absent(la, ProvDemand)
+	h.L1D.InsertAbsent(la, ProvDemand)
 	return h.Lat.Mem, LvlMem
 }
 
@@ -315,14 +325,18 @@ func (h *Hierarchy) PrefetchData(addr uint64) {
 	if h.L1D.Contains(la) {
 		return
 	}
-	if !h.L2.Contains(la) && !h.LLC.Contains(la) {
-		if h.tracker != nil {
-			h.tracker.MemFetch(la, SrcData)
+	if h.L2.Contains(la) {
+		h.insertL2(la, ProvPrefetch) // recency refresh of the resident copy
+	} else {
+		if !h.LLC.Contains(la) {
+			if h.tracker != nil {
+				h.tracker.MemFetch(la, SrcData)
+			}
+			h.LLC.InsertAbsent(la, ProvPrefetch)
 		}
-		h.LLC.Insert(la, ProvPrefetch)
+		h.insertL2Absent(la, ProvPrefetch)
 	}
-	h.insertL2(la, ProvPrefetch)
-	h.L1D.Insert(la, ProvPrefetch)
+	h.L1D.InsertAbsent(la, ProvPrefetch)
 }
 
 // FlushAll empties every cache (the lukewarm thrash).

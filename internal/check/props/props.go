@@ -5,6 +5,9 @@
 // from the inside, a property compares runs against each other:
 //
 //   - determinism: identical setups produce bit-identical results;
+//   - batch equivalence: the batched invocation entry point
+//     (engine.RunInvocations) is bit-identical to the serial train it
+//     replaces;
 //   - replay idempotence: draining the recorded stream twice leaves the BTB
 //     in exactly the state one drain leaves it in, and re-draining after a
 //     fresh thrash reproduces it;
@@ -45,6 +48,7 @@ type Property struct {
 func All() []Property {
 	return []Property{
 		{"determinism", Determinism},
+		{"batch-equivalence", BatchEquivalence},
 		{"replay-idempotence", ReplayIdempotence},
 		{"btb-monotonicity", BTBMonotonicity},
 		{"l2-monotonicity", L2Monotonicity},
@@ -99,6 +103,60 @@ func Determinism(spec workload.Spec) error {
 		if fa[i] != fb[i] {
 			return fmt.Errorf("props: determinism: %s: fingerprint field %d differs (%#x vs %#x)",
 				spec.Name, i, fa[i], fb[i])
+		}
+	}
+	return nil
+}
+
+// BatchEquivalence: the engine's batched entry point (RunInvocations, the
+// path the lukewarm protocol rides) must be bit-identical to the equivalent
+// serial RunInvocation train, including the thrashes a protocol interleaves.
+// The batched API only amortizes result allocation; any observable difference
+// is a bug.
+func BatchEquivalence(spec workload.Spec) error {
+	const n = 4
+	maxInstr := spec.MaxInstr() / 2
+
+	build := func() (*engine.Engine, error) {
+		setup, err := sim.New(spec, sim.KindNL)
+		if err != nil {
+			return nil, err
+		}
+		return setup.Eng, nil
+	}
+
+	serialEng, err := build()
+	if err != nil {
+		return err
+	}
+	var serial [n]engine.InvocationStats
+	for i := 0; i < n; i++ {
+		serialEng.Thrash(uint64(i))
+		st, err := serialEng.RunInvocation(engine.InvocationOptions{Seed: uint64(10 + i), MaxInstr: maxInstr})
+		if err != nil {
+			return err
+		}
+		serial[i] = *st
+	}
+
+	batchEng, err := build()
+	if err != nil {
+		return err
+	}
+	opts := make([]engine.InvocationOptions, n)
+	batch, err := batchEng.RunInvocations(opts, func(i int) error {
+		batchEng.Thrash(uint64(i))
+		opts[i] = engine.InvocationOptions{Seed: uint64(10 + i), MaxInstr: maxInstr}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < n; i++ {
+		if serial[i] != *batch[i] {
+			return fmt.Errorf("props: batch-equivalence: %s: invocation %d diverges between serial (%+v) and batched (%+v)",
+				spec.Name, i, serial[i], *batch[i])
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"math/rand/v2"
 
 	"ignite/internal/cache"
@@ -18,7 +19,6 @@ const dataBase = 0x10_0000_0000
 type dataStream struct {
 	cfg DataConfig
 	pcg *rand.PCG
-	rng *rand.Rand
 
 	hotBytes  uint64
 	coldBytes uint64
@@ -49,7 +49,6 @@ func (d *dataStream) init(cfg *DataConfig) {
 func (d *dataStream) beginInvocation(seed uint64) {
 	if d.pcg == nil {
 		d.pcg = rand.NewPCG(seed^0xdada_5eed, seed+0x1234_5678)
-		d.rng = rand.New(d.pcg)
 	} else {
 		d.pcg.Seed(seed^0xdada_5eed, seed+0x1234_5678)
 	}
@@ -69,13 +68,40 @@ func (d *dataStream) opsFor(n int) int {
 	return ops
 }
 
+// The draws below replicate math/rand/v2's Rand methods bit-exactly over the
+// PCG source, minus the interface indirection (Rand holds its Source as an
+// interface, so every draw is a virtual call). Bit-exactness with the 64-bit
+// Rand paths is what keeps the golden documents stable. (On 32-bit platforms
+// rand/v2 takes a different draw path, so goldens were never portable there.)
+
+// f64 is Rand.Float64: 53 uniform bits scaled into [0,1).
+func (d *dataStream) f64() float64 {
+	return float64(d.pcg.Uint64()<<11>>11) / (1 << 53)
+}
+
+// u64n is Rand.Uint64N: power-of-two mask fast path, otherwise Lemire's
+// multiply-shift with the rare bias-rejection loop.
+func (d *dataStream) u64n(n uint64) uint64 {
+	if n&(n-1) == 0 {
+		return d.pcg.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(d.pcg.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(d.pcg.Uint64(), n)
+		}
+	}
+	return hi
+}
+
 // next returns the next data address and whether it is a sequential-stream
 // access (stride-prefetchable).
 func (d *dataStream) next() (addr uint64, strided bool) {
-	r := d.rng.Float64()
+	r := d.f64()
 	switch {
 	case r < d.cfg.StrideFrac:
-		i := d.rng.IntN(len(d.streams))
+		i := d.u64n(uint64(len(d.streams))) // Rand.IntN on a power of two
 		d.streams[i] += 8
 		// Wrap within the cold region to bound the footprint.
 		if d.streams[i] >= dataBase+d.hotBytes+d.coldBytes {
@@ -83,9 +109,9 @@ func (d *dataStream) next() (addr uint64, strided bool) {
 		}
 		return d.streams[i], true
 	case r < d.cfg.StrideFrac+(1-d.cfg.StrideFrac)*d.cfg.HotFrac:
-		return dataBase + d.rng.Uint64N(d.hotBytes), false
+		return dataBase + d.u64n(d.hotBytes), false
 	default:
-		return dataBase + d.hotBytes + d.rng.Uint64N(d.coldBytes), false
+		return dataBase + d.hotBytes + d.u64n(d.coldBytes), false
 	}
 }
 

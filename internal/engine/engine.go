@@ -41,6 +41,11 @@ type Engine struct {
 	traffic *memsys.Traffic
 
 	companions []Companion
+	// fetchComps/tickComps are the companions whose OnInstrFetch/Tick are
+	// not declared no-ops (FetchPassive/TickPassive) — the only ones the
+	// per-line and per-step fan-outs dispatch to.
+	fetchComps []Companion
+	tickComps  []Companion
 
 	// tracer receives invocation/replay lifecycle events. nil (the
 	// default) keeps the hot path free of both the virtual call and the
@@ -63,10 +68,12 @@ type Engine struct {
 	nowf       float64
 	fetchClock float64
 
-	// pendingLine tracks in-flight fill completion times by line address
+	// pending tracks in-flight fill completion times by line address
 	// so a demand hit on a just-issued prefetch or wrong-path fill is
-	// charged the remaining latency and counted as a miss.
-	pendingLine map[uint64]pendingFill
+	// charged the remaining latency and counted as a miss. It is an
+	// open-addressed flat table: the count-zero fast path makes the
+	// steady-state (nothing in flight) per-fetch probe a single load.
+	pending pendingTable
 
 	// Reusable per-invocation buffers. steps/evals are resized in place;
 	// emitStep is the Walk callback, built once so RunInvocation does not
@@ -78,11 +85,11 @@ type Engine struct {
 	emitStep    func(cfg.Step) bool
 	walkScratch cfg.WalkScratch
 
-	// seenPC is an epoch-stamped set of branch PCs executed during the
-	// current invocation (entry is a member iff its stamp equals seenGen),
-	// replacing a per-invocation map allocation: bumping seenGen empties
-	// the set in O(1).
-	seenPC  map[uint64]uint32
+	// seen is an epoch-stamped set of branch sites executed during the
+	// current invocation, indexed by block ID (a block is a member iff its
+	// stamp equals seenGen): bumping seenGen empties the set in O(1), and
+	// the dense index replaces two map operations per conditional branch.
+	seen    []uint32
 	seenGen uint32
 
 	ras  *ras
@@ -104,16 +111,19 @@ type stepEval struct {
 func New(prog *cfg.Program, c Config) *Engine {
 	traffic := memsys.NewTraffic()
 	e := &Engine{
-		prog:        prog,
-		cfg:         c,
-		hier:        cache.DefaultHierarchy(traffic),
-		btb:         btb.MustNew(c.BTB),
-		cbp:         bpred.NewCBP(),
-		itlb:        tlb.MustNew(c.ITLB),
-		traffic:     traffic,
-		pendingLine: make(map[uint64]pendingFill),
-		seenPC:      make(map[uint64]uint32, 4096),
+		prog:    prog,
+		cfg:     c,
+		hier:    cache.DefaultHierarchy(traffic),
+		btb:     btb.MustNew(c.BTB),
+		cbp:     bpred.NewCBP(),
+		itlb:    tlb.MustNew(c.ITLB),
+		traffic: traffic,
+		seen:    make([]uint32, len(prog.Blocks)),
 	}
+	// Size the pending-fill table from the FTQ depth: the lookahead is the
+	// main producer of in-flight lines (the table still grows if a
+	// companion outruns the estimate).
+	e.pending.init(4 * (c.FTQDepth + c.NLDegree + 1))
 	if c.L2SizeBytes > 0 {
 		e.hier.L2 = cache.MustNew(cache.Config{
 			Name:       "L2",
@@ -171,13 +181,35 @@ func (e *Engine) SetInvocationCheck(fn func(*InvocationStats) error) {
 	e.invocationCheck = fn
 }
 
+// FetchPassive marks a Companion whose OnInstrFetch is a no-op. The engine
+// skips marked companions on the per-line fetch path, which otherwise pays
+// an interface dispatch per cache line for a method that does nothing
+// (Ignite's replayer is the prime case: it ticks but never observes
+// fetches).
+type FetchPassive interface{ FetchPassive() }
+
+// TickPassive marks a Companion whose Tick is a no-op; the engine skips it
+// in the per-step tick fan-out (Confluence records and replays entirely
+// from fetch events).
+type TickPassive interface{ TickPassive() }
+
 // AddCompanion attaches a companion prefetcher/restorer.
 func (e *Engine) AddCompanion(c Companion) {
 	e.companions = append(e.companions, c)
+	if _, ok := c.(FetchPassive); !ok {
+		e.fetchComps = append(e.fetchComps, c)
+	}
+	if _, ok := c.(TickPassive); !ok {
+		e.tickComps = append(e.tickComps, c)
+	}
 }
 
 // ClearCompanions detaches all companions.
-func (e *Engine) ClearCompanions() { e.companions = e.companions[:0] }
+func (e *Engine) ClearCompanions() {
+	e.companions = e.companions[:0]
+	e.fetchComps = e.fetchComps[:0]
+	e.tickComps = e.tickComps[:0]
+}
 
 // Thrash models interleaved executions of other functions: all caches, the
 // BTB, the ITLB and the TAGE tables are flushed and the bimodal predictor
@@ -188,7 +220,7 @@ func (e *Engine) Thrash(seed uint64) {
 	e.itlb.Flush()
 	e.cbp.FlushAll(seed)
 	e.ras.reset()
-	clear(e.pendingLine)
+	e.pending.clear()
 }
 
 // ThrashSelective flushes like Thrash but optionally preserves the BTB,
@@ -232,9 +264,7 @@ func (e *Engine) NotePendingLine(la uint64, from cache.Level, extraLat int) {
 		return
 	}
 	done := uint64(e.fetchClock) + uint64(lat)
-	if cur, ok := e.pendingLine[la]; !ok || done < cur.done {
-		e.pendingLine[la] = pendingFill{done: done, from: from}
-	}
+	e.pending.noteMin(la, pendingFill{done: done, from: from})
 }
 
 // ResetStats clears every statistics counter (between warm-up and

@@ -84,6 +84,43 @@ var ErrCycleBudget = errors.New("cycle budget exceeded")
 // RunInvocation simulates one invocation of the program's handler on the
 // current microarchitectural state.
 func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) {
+	st := new(InvocationStats)
+	if err := e.runInvocationInto(st, opt); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RunInvocations simulates a train of invocations back to back — a cell's
+// whole warm-up/record/measure sequence in one call. All results share one
+// backing array, so the per-invocation result allocation of the serial path
+// is paid once per train. between, when non-nil, runs immediately before
+// opts[i] is read and simulated: the slot where the lukewarm protocol
+// thrashes state, arms record/replay mechanisms and resets traffic
+// accounting. Because opts[i] is read only after the hook returns, callers
+// may populate it inside the hook (e.g. to attach a lazily generated
+// trace). Results are bit-identical to calling RunInvocation in a loop with
+// the same interleaved actions.
+func (e *Engine) RunInvocations(opts []InvocationOptions, between func(i int) error) ([]*InvocationStats, error) {
+	sts := make([]InvocationStats, len(opts))
+	out := make([]*InvocationStats, len(opts))
+	for i := range opts {
+		if between != nil {
+			if err := between(i); err != nil {
+				return nil, err
+			}
+		}
+		if err := e.runInvocationInto(&sts[i], opts[i]); err != nil {
+			return nil, fmt.Errorf("engine: invocation %d of %d: %w", i, len(opts), err)
+		}
+		out[i] = &sts[i]
+	}
+	return out, nil
+}
+
+// runInvocationInto is the body shared by RunInvocation and RunInvocations;
+// it overwrites *st with the invocation's measurements.
+func (e *Engine) runInvocationInto(st *InvocationStats, opt InvocationOptions) error {
 	// Materialize the committed trace; the decoupled front-end needs to
 	// look ahead of commit along it.
 	var res cfg.WalkResult
@@ -102,12 +139,12 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 			cfg.WalkOptions{Seed: opt.Seed, MaxInstr: opt.MaxInstr, Scratch: &e.walkScratch},
 			e.emitStep)
 		if err != nil {
-			return nil, fmt.Errorf("engine: trace generation: %w", err)
+			return fmt.Errorf("engine: trace generation: %w", err)
 		}
 	}
 	n := len(e.steps)
 	if n == 0 {
-		return nil, fmt.Errorf("engine: empty trace")
+		return fmt.Errorf("engine: empty trace")
 	}
 	if cap(e.evals) < n {
 		e.evals = make([]stepEval, n)
@@ -128,14 +165,14 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 		e.tracer.InvocationStart(obs.InvocationStartEvent{Seed: opt.Seed, Now: e.now})
 	}
 
-	st := &InvocationStats{
+	*st = InvocationStats{
 		Instrs:    res.Instrs,
 		Steps:     res.Steps,
 		Truncated: res.Truncated,
 	}
 	e.seenGen++
 	if e.seenGen == 0 { // stamp wrapped: stale entries could alias
-		clear(e.seenPC)
+		clear(e.seen)
 		e.seenGen = 1
 	}
 
@@ -146,7 +183,7 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 
 	for i := 0; i < n; i++ {
 		if e.cfg.MaxCycles != 0 && e.nowf-startNow > float64(e.cfg.MaxCycles) {
-			return nil, fmt.Errorf(
+			return fmt.Errorf(
 				"engine: invocation seed %d aborted after %.0f cycles at step %d/%d (budget %d): %w",
 				opt.Seed, e.nowf-startNow, i, n, e.cfg.MaxCycles, ErrCycleBudget)
 		}
@@ -206,7 +243,7 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 		e.now = uint64(e.nowf)
 		e.fetchClock += base + fetchStall + penalty
 
-		for _, c := range e.companions {
+		for _, c := range e.tickComps {
 			c.Tick(e.now, int(stepCycles)+1)
 		}
 	}
@@ -220,10 +257,10 @@ func (e *Engine) RunInvocation(opt InvocationOptions) (*InvocationStats, error) 
 	}
 	if e.invocationCheck != nil {
 		if err := e.invocationCheck(st); err != nil {
-			return nil, fmt.Errorf("engine: invariant check after invocation (seed %d): %w", opt.Seed, err)
+			return fmt.Errorf("engine: invariant check after invocation (seed %d): %w", opt.Seed, err)
 		}
 	}
-	return st, nil
+	return nil
 }
 
 // fetchBlock issues demand fetches for every cache line the block spans and
@@ -254,8 +291,7 @@ func (e *Engine) fetchBlock(b *cfg.Block, lastLine *uint64, st *InvocationStats)
 			// architecturally still an L1-I miss served by the level
 			// the fill came from.
 			effLvl := cache.LvlL1I
-			if pf, ok := e.pendingLine[la]; ok {
-				delete(e.pendingLine, la)
+			if pf, ok := e.takePending(la); ok {
 				if ft := float64(pf.done); ft > e.fetchClock {
 					stall += ft - e.fetchClock
 					st.L1IMisses++
@@ -268,7 +304,7 @@ func (e *Engine) fetchBlock(b *cfg.Block, lastLine *uint64, st *InvocationStats)
 			if firstTouch && e.cfg.NLEnabled && e.cfg.NLChainOnHit {
 				e.nextLinePrefetch(la)
 			}
-			for _, c := range e.companions {
+			for _, c := range e.fetchComps {
 				c.OnInstrFetch(la, effLvl, e.now)
 			}
 			continue
@@ -281,7 +317,7 @@ func (e *Engine) fetchBlock(b *cfg.Block, lastLine *uint64, st *InvocationStats)
 		if e.cfg.NLEnabled {
 			e.nextLinePrefetch(la)
 		}
-		for _, c := range e.companions {
+		for _, c := range e.fetchComps {
 			c.OnInstrFetch(la, lvl, e.now)
 		}
 	}
@@ -311,10 +347,13 @@ func (e *Engine) prefetchBlockLines(b *cfg.Block) {
 	}
 }
 
-// pendingFill describes an in-flight line fill.
-type pendingFill struct {
-	done uint64
-	from cache.Level
+// takePending consumes la's in-flight fill record, if any. The count check
+// keeps the steady-state fetch path (nothing in flight) to one load.
+func (e *Engine) takePending(la uint64) (pendingFill, bool) {
+	if e.pending.n == 0 {
+		return pendingFill{}, false
+	}
+	return e.pending.take(la)
 }
 
 // notePending records when an in-flight fill will complete.
@@ -332,9 +371,7 @@ func (e *Engine) notePending(la uint64, from cache.Level) {
 		return
 	}
 	done := uint64(e.fetchClock) + uint64(lat)
-	if cur, ok := e.pendingLine[la]; !ok || done < cur.done {
-		e.pendingLine[la] = pendingFill{done: done, from: from}
-	}
+	e.pending.noteMin(la, pendingFill{done: done, from: from})
 }
 
 // evalStep performs (or recalls) the front-end's one-time BPU evaluation of
@@ -454,8 +491,9 @@ func (e *Engine) resolveBranch(i int, b *cfg.Block, st *InvocationStats) (penalt
 	switch b.Kind {
 	case cfg.BranchCond:
 		st.CondBranches++
-		seenBefore := e.seenPC[pc] == e.seenGen
-		e.seenPC[pc] = e.seenGen
+		blk := e.steps[i].Block
+		seenBefore := e.seen[blk] == e.seenGen
+		e.seen[blk] = e.seenGen
 		predTaken := ev.predTaken
 		if !fresh {
 			// The eval came from the front-end lookahead; predictor

@@ -1,0 +1,143 @@
+package engine
+
+import "ignite/internal/cache"
+
+// pendingFill describes an in-flight line fill.
+type pendingFill struct {
+	done uint64
+	from cache.Level
+}
+
+// pendingKeyEmpty marks an empty slot. Keys are line-aligned addresses
+// (multiples of the line size), so an odd value can never collide with one.
+const pendingKeyEmpty = uint64(1)
+
+// pendingTable is an open-addressed (linear-probe) map from line address to
+// pendingFill, replacing the Go map on the per-fetch hot path. The table is
+// never iterated, so probe order cannot leak into simulation results; lookups
+// and inserts behave exactly like the map they replace.
+type pendingTable struct {
+	keys []uint64
+	vals []pendingFill
+	mask uint64
+	n    int
+}
+
+func (t *pendingTable) init(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	// Round up to a power of two.
+	c := 16
+	for c < capacity {
+		c <<= 1
+	}
+	t.keys = make([]uint64, c)
+	t.vals = make([]pendingFill, c)
+	for i := range t.keys {
+		t.keys[i] = pendingKeyEmpty
+	}
+	t.mask = uint64(c - 1)
+	t.n = 0
+}
+
+func (t *pendingTable) slot(la uint64) uint64 {
+	// Fibonacci hash of the line index; line addresses share low zero bits.
+	return ((la >> 6) * 0x9E3779B97F4A7C15) >> 32 & t.mask
+}
+
+// take returns and removes la's entry. Removal uses backward-shift deletion,
+// keeping every remaining entry reachable without tombstones.
+func (t *pendingTable) take(la uint64) (pendingFill, bool) {
+	i := t.slot(la)
+	for {
+		k := t.keys[i]
+		if k == pendingKeyEmpty {
+			return pendingFill{}, false
+		}
+		if k == la {
+			v := t.vals[i]
+			t.del(i)
+			return v, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes slot i, shifting any displaced successors back into place.
+func (t *pendingTable) del(i uint64) {
+	t.n--
+	for {
+		t.keys[i] = pendingKeyEmpty
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			k := t.keys[j]
+			if k == pendingKeyEmpty {
+				return
+			}
+			home := t.slot(k)
+			// Can k legally move into the hole at i? Only if its home
+			// position does not lie strictly between i (exclusive) and j.
+			if (j-home)&t.mask >= (j-i)&t.mask {
+				t.keys[i] = k
+				t.vals[i] = t.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// noteMin inserts la→fill, keeping the earliest completion time when an
+// entry already exists — the same keep-minimum rule as the map it replaced.
+func (t *pendingTable) noteMin(la uint64, fill pendingFill) {
+	i := t.slot(la)
+	for {
+		k := t.keys[i]
+		if k == la {
+			if fill.done < t.vals[i].done {
+				t.vals[i] = fill
+			}
+			return
+		}
+		if k == pendingKeyEmpty {
+			t.keys[i] = la
+			t.vals[i] = fill
+			t.n++
+			if t.n*4 > len(t.keys)*3 {
+				t.grow()
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *pendingTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == pendingKeyEmpty {
+			continue
+		}
+		j := t.slot(k)
+		for t.keys[j] != pendingKeyEmpty {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = k
+		t.vals[j] = oldVals[i]
+		t.n++
+	}
+}
+
+// clear empties the table in place.
+func (t *pendingTable) clear() {
+	if t.n == 0 {
+		return
+	}
+	for i := range t.keys {
+		t.keys[i] = pendingKeyEmpty
+	}
+	t.n = 0
+}

@@ -1,0 +1,45 @@
+package engine
+
+import "ignite/internal/cfg"
+
+// Scratch is the engine's set of reusable per-invocation working buffers:
+// the committed-trace buffer, the per-step BPU evaluation array, and the
+// walker's RNG/per-block-counter scratch. Engines grow these lazily; a
+// caller that simulates many short-lived engines (one per experiment cell)
+// can detach the buffers from a finished engine and attach them to the next
+// one — typically through a sync.Pool — so each cell does not re-grow
+// megabytes of trace and eval storage from scratch.
+type Scratch struct {
+	steps []cfg.Step
+	evals []stepEval
+	walk  cfg.WalkScratch
+}
+
+// AttachScratch hands the engine a detached buffer set to reuse. It must be
+// called before the first RunInvocation and the Scratch must not be shared
+// with another live engine.
+func (e *Engine) AttachScratch(s *Scratch) {
+	if s == nil {
+		return
+	}
+	e.steps = s.steps[:0]
+	e.stepsShared = false
+	e.evals = s.evals[:0]
+	e.walkScratch = s.walk
+}
+
+// DetachScratch removes and returns the engine's working buffers, leaving
+// the engine without scratch (a later RunInvocation would re-grow them).
+// A caller-owned shared trace (InvocationOptions.Trace) is never captured:
+// its backing array belongs to the trace cache, not the engine.
+func (e *Engine) DetachScratch() *Scratch {
+	s := &Scratch{evals: e.evals, walk: e.walkScratch}
+	if !e.stepsShared {
+		s.steps = e.steps
+	}
+	e.steps = nil
+	e.stepsShared = false
+	e.evals = nil
+	e.walkScratch = cfg.WalkScratch{}
+	return s
+}

@@ -6,11 +6,20 @@ import (
 	"sync"
 
 	"ignite/internal/cfg"
+	"ignite/internal/engine"
 	"ignite/internal/faults"
 	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/workload"
 )
+
+// scratchPool recycles engine working buffers (trace, eval and walk scratch)
+// across cells. Each cell builds a fresh engine, but the megabytes of
+// per-invocation buffer the previous cell grew are reusable as-is; pooling
+// them takes steady-state cell simulation from one large growth cycle per
+// cell to near-zero buffer allocation. Scratch contents never affect
+// results — buffers are attached length-zero and fully rewritten.
+var scratchPool = sync.Pool{New: func() any { return new(engine.Scratch) }}
 
 // CellCache memoizes the two deterministic, expensive artifacts of an
 // experiment run across experiments:
@@ -206,6 +215,8 @@ func (cc *CellCache) compute(spec workload.Spec, rc runConfig, env cellEnv) (*ce
 	if err != nil {
 		return nil, err
 	}
+	setup.Eng.AttachScratch(scratchPool.Get().(*engine.Scratch))
+	defer func() { scratchPool.Put(setup.Eng.DetachScratch()) }()
 	if cc.shareTraces {
 		specK := specKey(spec)
 		setup.TraceProvider = func(seed, maxInstr uint64) ([]cfg.Step, cfg.WalkResult, error) {

@@ -146,6 +146,10 @@ func (r *Replayer) BeginInvocation() {
 // OnInstrFetch implements engine.Companion (unused by Ignite).
 func (r *Replayer) OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64) {}
 
+// FetchPassive declares the no-op OnInstrFetch to the engine, which then
+// keeps the replayer off the per-line fetch dispatch entirely.
+func (r *Replayer) FetchPassive() {}
+
 // Tick implements engine.Companion: advance the replay state machine by the
 // granted cycles.
 func (r *Replayer) Tick(now uint64, cycles int) {

@@ -211,7 +211,11 @@ func (r *Result) MeanTraffic() memsys.Report {
 }
 
 // Run executes the protocol on the engine: warm-ups, a record invocation
-// (when mechanisms are present), and the measured invocations.
+// (when mechanisms are present), and the measured invocations. The whole
+// train goes through the engine's batched RunInvocations entry point — one
+// result allocation for the train — with the protocol's thrashes, mechanism
+// arming and traffic-window management performed in the between hook, in
+// exactly the order the serial per-invocation protocol used.
 func Run(eng *engine.Engine, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	seed := opt.SeedBase
@@ -224,55 +228,63 @@ func Run(eng *engine.Engine, opt Options) (*Result, error) {
 			opt.Keep.BTB, opt.Keep.BIM, opt.Keep.TAGE)
 	}
 
-	run := func() (*engine.InvocationStats, error) {
+	rec := 0
+	if len(opt.Mechanisms) > 0 {
+		rec = 1
+	}
+	firstMeasured := opt.Warmups + rec
+	total := firstMeasured + opt.Measures
+
+	res := &Result{}
+	opts := make([]engine.InvocationOptions, total)
+	between := func(i int) error {
+		switch {
+		case i < opt.Warmups:
+			// Warm-up: trains runtimes / predictors; in interleaved mode
+			// each warm-up still sees thrashed state, as on a real server.
+			thrash(uint64(i))
+		case i == opt.Warmups && rec == 1:
+			// Record invocation.
+			thrash(100)
+			for _, m := range opt.Mechanisms {
+				m.StartRecord()
+			}
+		default:
+			j := i - firstMeasured // measured index
+			if rec == 1 && i == firstMeasured {
+				// The record invocation just finished.
+				for _, m := range opt.Mechanisms {
+					m.StopRecord()
+					m.ArmReplay()
+				}
+			}
+			if j > 0 {
+				// Close the previous measured invocation's traffic window
+				// before the thrash+reset opens the next one.
+				res.Traffic = append(res.Traffic, eng.Traffic().Report())
+			}
+			thrash(uint64(200 + j))
+			eng.Traffic().Reset()
+		}
 		io := engine.InvocationOptions{Seed: seed, MaxInstr: opt.MaxInstr}
 		if opt.Traces != nil {
 			tr, wres, err := opt.Traces(seed, opt.MaxInstr)
 			if err != nil {
-				return nil, fmt.Errorf("lukewarm: trace for seed %d: %w", seed, err)
+				return fmt.Errorf("lukewarm: trace for seed %d: %w", seed, err)
 			}
 			io.Trace, io.TraceResult = tr, wres
 		}
-		st, err := eng.RunInvocation(io)
+		opts[i] = io
 		seed++
-		return st, err
+		return nil
 	}
 
-	// Warm-up: trains runtimes / predictors; in interleaved mode each
-	// warm-up still sees thrashed state, as on a real server.
-	for i := 0; i < opt.Warmups; i++ {
-		thrash(uint64(i))
-		if _, err := run(); err != nil {
-			return nil, fmt.Errorf("lukewarm: warmup %d: %w", i, err)
-		}
+	sts, err := eng.RunInvocations(opts, between)
+	if err != nil {
+		return nil, fmt.Errorf("lukewarm: %w", err)
 	}
-
-	// Record invocation.
-	if len(opt.Mechanisms) > 0 {
-		thrash(100)
-		for _, m := range opt.Mechanisms {
-			m.StartRecord()
-		}
-		if _, err := run(); err != nil {
-			return nil, fmt.Errorf("lukewarm: record invocation: %w", err)
-		}
-		for _, m := range opt.Mechanisms {
-			m.StopRecord()
-			m.ArmReplay()
-		}
-	}
-
-	res := &Result{}
-	for i := 0; i < opt.Measures; i++ {
-		thrash(uint64(200 + i))
-		eng.Traffic().Reset()
-		st, err := run()
-		if err != nil {
-			return nil, fmt.Errorf("lukewarm: measured invocation %d: %w", i, err)
-		}
-		res.PerInvocation = append(res.PerInvocation, st)
-		res.Traffic = append(res.Traffic, eng.Traffic().Report())
-	}
+	res.PerInvocation = sts[firstMeasured:]
+	res.Traffic = append(res.Traffic, eng.Traffic().Report())
 	eng.BTB().SweepRestoredUnused()
 	return res, nil
 }

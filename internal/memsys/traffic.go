@@ -21,11 +21,25 @@ type lineState struct {
 	pendingMask uint16 // sources with an outstanding un-touched insert
 }
 
+// lineKeyEmpty marks an empty slot in the line table. Keys are line-aligned
+// addresses (multiples of the line size), so an odd value never collides.
+const lineKeyEmpty = uint64(1)
+
 // Traffic implements cache.Tracker. It classifies every DRAM instruction
 // fetch as useful or useless (wrong-path or never-used prefetch) and tracks
 // per-source prefetch accuracy for the restore-accuracy study.
+//
+// Line state lives in an open-addressed (linear-probe) table of inline
+// values rather than a Go map of pointers: the fill and demand-touch paths
+// run once per tracked line event, and the flat table avoids both the map's
+// hashing overhead and a heap allocation per line. Entries are never
+// deleted, and the only iteration (Report) computes an order-independent
+// sum, so probe order cannot leak into results.
 type Traffic struct {
-	lines map[uint64]*lineState
+	lineKeys []uint64
+	lineVals []lineState
+	lineMask uint64
+	lineN    int
 
 	memFetches    [cache.NumSources]uint64 // lines fetched from DRAM per source
 	inserted      [cache.NumSources]uint64 // prefetch-class inserts (any origin level)
@@ -37,18 +51,90 @@ type Traffic struct {
 
 // NewTraffic returns an empty traffic tracker.
 func NewTraffic() *Traffic {
-	return &Traffic{lines: make(map[uint64]*lineState)}
+	t := &Traffic{}
+	t.initLines(4096)
+	return t
 }
 
 var _ cache.Tracker = (*Traffic)(nil)
 
-func (t *Traffic) state(lineAddr uint64) *lineState {
-	ls := t.lines[lineAddr]
-	if ls == nil {
-		ls = &lineState{}
-		t.lines[lineAddr] = ls
+func (t *Traffic) initLines(capacity int) {
+	c := 16
+	for c < capacity {
+		c <<= 1
 	}
-	return ls
+	t.lineKeys = make([]uint64, c)
+	t.lineVals = make([]lineState, c)
+	for i := range t.lineKeys {
+		t.lineKeys[i] = lineKeyEmpty
+	}
+	t.lineMask = uint64(c - 1)
+	t.lineN = 0
+}
+
+func (t *Traffic) lineSlot(la uint64) uint64 {
+	// Fibonacci hash of the line index; line addresses share low zero bits.
+	return ((la >> 6) * 0x9E3779B97F4A7C15) >> 32 & t.lineMask
+}
+
+// find returns the state for lineAddr, or nil if the line is untracked.
+func (t *Traffic) find(lineAddr uint64) *lineState {
+	if t.lineN == 0 {
+		return nil
+	}
+	i := t.lineSlot(lineAddr)
+	for {
+		k := t.lineKeys[i]
+		if k == lineAddr {
+			return &t.lineVals[i]
+		}
+		if k == lineKeyEmpty {
+			return nil
+		}
+		i = (i + 1) & t.lineMask
+	}
+}
+
+func (t *Traffic) state(lineAddr uint64) *lineState {
+	i := t.lineSlot(lineAddr)
+	for {
+		k := t.lineKeys[i]
+		if k == lineAddr {
+			return &t.lineVals[i]
+		}
+		if k == lineKeyEmpty {
+			break
+		}
+		i = (i + 1) & t.lineMask
+	}
+	if (t.lineN+1)*4 > len(t.lineKeys)*3 {
+		t.growLines()
+		i = t.lineSlot(lineAddr)
+		for t.lineKeys[i] != lineKeyEmpty {
+			i = (i + 1) & t.lineMask
+		}
+	}
+	t.lineKeys[i] = lineAddr
+	t.lineVals[i] = lineState{}
+	t.lineN++
+	return &t.lineVals[i]
+}
+
+func (t *Traffic) growLines() {
+	oldKeys, oldVals := t.lineKeys, t.lineVals
+	t.initLines(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == lineKeyEmpty {
+			continue
+		}
+		j := t.lineSlot(k)
+		for t.lineKeys[j] != lineKeyEmpty {
+			j = (j + 1) & t.lineMask
+		}
+		t.lineKeys[j] = k
+		t.lineVals[j] = oldVals[i]
+		t.lineN++
+	}
 }
 
 // MemFetch records one line crossing the DRAM bus on behalf of src.
@@ -69,7 +155,7 @@ func (t *Traffic) Inserted(lineAddr uint64, src cache.Source, lvl cache.Level) {
 // DemandTouch records a correct-path demand use of a line. Only lines known
 // to the tracker (DRAM-fetched or prefetch-inserted) carry state.
 func (t *Traffic) DemandTouch(lineAddr uint64) {
-	ls := t.lines[lineAddr]
+	ls := t.find(lineAddr)
 	if ls == nil {
 		return
 	}
@@ -119,9 +205,12 @@ func (t *Traffic) Report() Report {
 		}
 		total += t.memFetches[src]
 	}
-	for _, ls := range t.lines {
-		if ls.memTouched {
-			useful += uint64(ls.fetchCount)
+	for i, k := range t.lineKeys {
+		if k == lineKeyEmpty {
+			continue
+		}
+		if t.lineVals[i].memTouched {
+			useful += uint64(t.lineVals[i].fetchCount)
 		}
 	}
 	if useful > total {
@@ -144,7 +233,12 @@ func (t *Traffic) SourceAccuracy(src cache.Source) (inserted, useful uint64) {
 // MemFetchLines returns the number of DRAM line fetches for src.
 func (t *Traffic) MemFetchLines(src cache.Source) uint64 { return t.memFetches[src] }
 
-// Reset clears all accounting for a new measurement window.
+// Reset clears all accounting for a new measurement window. The line table
+// keeps its capacity so steady-state windows allocate nothing.
 func (t *Traffic) Reset() {
-	*t = Traffic{lines: make(map[uint64]*lineState)}
+	keys, vals, mask := t.lineKeys, t.lineVals, t.lineMask
+	*t = Traffic{lineKeys: keys, lineVals: vals, lineMask: mask}
+	for i := range t.lineKeys {
+		t.lineKeys[i] = lineKeyEmpty
+	}
 }

@@ -117,6 +117,10 @@ func (c *Confluence) BeginInvocation() {
 // Tick implements engine.Companion (Confluence is event-driven).
 func (c *Confluence) Tick(now uint64, cycles int) {}
 
+// TickPassive declares the no-op Tick to the engine, which then skips
+// Confluence in the per-step tick fan-out.
+func (c *Confluence) TickPassive() {}
+
 // OnInstrFetch implements engine.Companion: record the miss stream and/or
 // trigger stream replay.
 func (c *Confluence) OnInstrFetch(lineAddr uint64, lvl cache.Level, now uint64) {

@@ -34,19 +34,22 @@ type Stats struct {
 	Fills   stats.Counter
 }
 
-type entry struct {
-	valid   bool
-	tag     uint64
-	lastUse uint64
-}
+// tagEmpty marks an empty way. A real tag is a shifted virtual page number,
+// so all-ones would require an address at the very top of the 64-bit space;
+// fill panics rather than alias it.
+const tagEmpty = ^uint64(0)
 
 // TLB is a set-associative translation buffer. Construct with New.
+// Storage is struct-of-arrays: a match scan reads only the dense tag array
+// (tagEmpty doubles as the valid flag); recency lives in a parallel array
+// touched on hits and victim scans.
 type TLB struct {
 	cfg      Config
 	sets     int
 	setMask  uint64
 	pageBits uint
-	entries  []entry
+	tags     []uint64 // page tag, or tagEmpty; set-major
+	lastUse  []uint64
 	tick     uint64
 	stats    Stats
 }
@@ -63,13 +66,18 @@ func New(c Config) (*TLB, error) {
 	if c.PageBytes <= 0 || bits.OnesCount(uint(c.PageBytes)) != 1 {
 		return nil, fmt.Errorf("tlb: page size %d not a power of two", c.PageBytes)
 	}
-	return &TLB{
+	t := &TLB{
 		cfg:      c,
 		sets:     sets,
 		setMask:  uint64(sets - 1),
 		pageBits: uint(bits.TrailingZeros(uint(c.PageBytes))),
-		entries:  make([]entry, c.Entries),
-	}, nil
+		tags:     make([]uint64, c.Entries),
+		lastUse:  make([]uint64, c.Entries),
+	}
+	for i := range t.tags {
+		t.tags[i] = tagEmpty
+	}
+	return t, nil
 }
 
 // MustNew is New for known-valid configurations.
@@ -89,21 +97,17 @@ func (t *TLB) index(addr uint64) (set, tag uint64) {
 	return vpn & t.setMask, vpn >> uint(bits.TrailingZeros(uint(t.sets)))
 }
 
-func (t *TLB) setSlice(set uint64) []entry {
-	start := int(set) * t.cfg.Ways
-	return t.entries[start : start+t.cfg.Ways]
-}
-
 // Translate looks up addr's page, returning the added latency (0 on hit,
 // WalkLatency on miss) and whether it hit. A miss fills the TLB.
 func (t *TLB) Translate(addr uint64) (extraLatency int, hit bool) {
 	set, tag := t.index(addr)
-	es := t.setSlice(set)
+	base := int(set) * t.cfg.Ways
+	ts := t.tags[base : base+t.cfg.Ways]
 	t.stats.Lookups.Inc()
 	t.tick++
-	for i := range es {
-		if es[i].valid && es[i].tag == tag {
-			es[i].lastUse = t.tick
+	for i := range ts {
+		if ts[i] == tag {
+			t.lastUse[base+i] = t.tick
 			return 0, true
 		}
 	}
@@ -116,9 +120,10 @@ func (t *TLB) Translate(addr uint64) (extraLatency int, hit bool) {
 // replay-side I-TLB warming.
 func (t *TLB) Prefill(addr uint64) {
 	set, tag := t.index(addr)
-	for i := range t.setSlice(set) {
-		e := &t.setSlice(set)[i]
-		if e.valid && e.tag == tag {
+	base := int(set) * t.cfg.Ways
+	ts := t.tags[base : base+t.cfg.Ways]
+	for i := range ts {
+		if ts[i] == tag {
 			return
 		}
 	}
@@ -126,30 +131,36 @@ func (t *TLB) Prefill(addr uint64) {
 }
 
 func (t *TLB) fill(set, tag uint64) {
-	es := t.setSlice(set)
+	if tag == tagEmpty {
+		panic("tlb: page tag collides with the empty sentinel")
+	}
+	base := int(set) * t.cfg.Ways
+	ts := t.tags[base : base+t.cfg.Ways]
 	t.tick++
 	victim := 0
 	var oldest uint64 = ^uint64(0)
-	for i := range es {
-		if !es[i].valid {
+	for i := range ts {
+		if ts[i] == tagEmpty {
 			victim = i
 			break
 		}
-		if es[i].lastUse < oldest {
-			oldest = es[i].lastUse
+		if lu := t.lastUse[base+i]; lu < oldest {
+			oldest = lu
 			victim = i
 		}
 	}
-	es[victim] = entry{valid: true, tag: tag, lastUse: t.tick}
+	t.tags[base+victim] = tag
+	t.lastUse[base+victim] = t.tick
 	t.stats.Fills.Inc()
 }
 
 // Contains probes without updating recency.
 func (t *TLB) Contains(addr uint64) bool {
 	set, tag := t.index(addr)
-	for i := range t.setSlice(set) {
-		e := &t.setSlice(set)[i]
-		if e.valid && e.tag == tag {
+	base := int(set) * t.cfg.Ways
+	ts := t.tags[base : base+t.cfg.Ways]
+	for i := range ts {
+		if ts[i] == tag {
 			return true
 		}
 	}
@@ -158,8 +169,9 @@ func (t *TLB) Contains(addr uint64) bool {
 
 // Flush invalidates all translations.
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		t.entries[i] = entry{}
+	for i := range t.tags {
+		t.tags[i] = tagEmpty
+		t.lastUse[i] = 0
 	}
 	t.tick = 0
 }

@@ -48,6 +48,20 @@ go build -o "$smoke/ignite-bench" ./cmd/ignite-bench
   test -s results-checked/fig8.json
 )
 
+# Bench smoke: every benchmark must still run (one iteration each) — a
+# benchmark that panics or no longer compiles is a broken promise to anyone
+# comparing against the committed BENCH_<n>.json trajectory.
+go test -run '^$' -bench=. -benchtime=1x ./internal/engine
+
+# Batching path under the race detector, by name: the batched invocation
+# entry point (engine.RunInvocations + the lukewarm protocol riding it) and
+# the scratch-buffer handoff the experiment scheduler's worker pool recycles
+# through a sync.Pool. The -race sweep above already covers these; the named
+# pass keeps the hot-path refactor visible on its own.
+go test -race -run 'TestBatchedInvocationAllocs|TestScratchHandoff|TestProperties/batch-equivalence' \
+  ./internal/engine ./internal/check/props
+go test -race -run 'TestScheduler' ./internal/experiments
+
 # Mutation smoke: break every invariant on purpose and prove the checker
 # fires, then run the metamorphic properties (the -race sweep above already
 # covers these; this named pass keeps the verifier's own health visible even
@@ -76,4 +90,4 @@ IGNITE_FAULTS=smoke go test ./internal/experiments -run Chaos
        <(grep -v '"generated"' resume-b/fig1.json)
 )
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, mutation smoke, chaos, resume)"
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, resume)"
