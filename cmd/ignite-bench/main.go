@@ -31,16 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 	"time"
 
+	"ignite/internal/cfgcli"
 	"ignite/internal/experiments"
-	"ignite/internal/faults"
 	"ignite/internal/obs"
 	"ignite/internal/workload"
 )
@@ -80,9 +77,11 @@ func idList() string {
 }
 
 func main() {
+	cf := cfgcli.New("ignite-bench")
+	cf.BindCore(flag.CommandLine)
+	cf.BindMatrix(flag.CommandLine)
+	cf.BindJournal(flag.CommandLine)
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+idList()+")")
-	wlFlag := flag.String("workloads", "", "comma-separated function names (default: all 20)")
-	parFlag := flag.Int("parallel", 0, "parallel cell simulations (default: NumCPU)")
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
 	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
 	benchoutFlag := flag.String("benchout", "", "write the benchmark report to this path (convention: BENCH_<n>.json, a committed trajectory of benchmark runs)")
@@ -90,16 +89,9 @@ func main() {
 	cpuFlag := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
 	progFlag := flag.Bool("progress", false, "report per-cell completion and ETA on stderr")
-	tiFlag := flag.Uint64("target-instr", 0, "override per-invocation instruction budget (0 = each workload's own; CI smoke runs use a small value)")
-	policyFlag := flag.String("fail-policy", "fail-fast", "cell-failure policy: fail-fast aborts on the first failure, continue completes healthy cells and reports failures per cell")
-	timeoutFlag := flag.Duration("cell-timeout", 0, "per-cell simulation deadline (0 = none)")
-	cyclesFlag := flag.Uint64("max-cycles", 0, "per-invocation engine cycle budget, aborts runaway simulations (0 = unlimited)")
-	retriesFlag := flag.Int("retries", 0, "transient-failure retries per cell (0 = default 2, negative disables)")
-	journalFlag := flag.String("journal", "", "crash-safe cell journal path (default <out>/run.journal.jsonl when -out is set)")
-	resumeFlag := flag.Bool("resume", false, "preload cells from the journal of an interrupted run before simulating")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cfgcli.SignalContext()
 	defer stop()
 
 	if *listFlag {
@@ -111,79 +103,24 @@ func main() {
 		return
 	}
 
-	policy, err := experiments.ParseFailurePolicy(*policyFlag)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	plan, err := faults.FromEnvSpec(os.Getenv(faults.EnvVar))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	// One shared cell cache across the selected experiments: cells that
 	// recur (the nl baseline appears in five figures) are simulated once.
-	opt := experiments.Options{
-		Parallel:      *parFlag,
-		Cache:         experiments.NewCellCache(),
-		FailurePolicy: policy,
-		CellTimeout:   *timeoutFlag,
-		MaxCycles:     *cyclesFlag,
-		Retries:       *retriesFlag,
-		Faults:        plan,
-		Health:        new(obs.RunHealth),
+	opt, err := cf.Options()
+	if err != nil {
+		cfgcli.Exit("ignite-bench", nil, err)
 	}
-	if *wlFlag != "" {
-		for _, name := range strings.Split(*wlFlag, ",") {
-			spec, err := workload.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			opt.Workloads = append(opt.Workloads, spec)
-		}
-	}
-	if *tiFlag > 0 {
-		if len(opt.Workloads) == 0 {
-			opt.Workloads = workload.All()
-		}
-		for i := range opt.Workloads {
-			opt.Workloads[i].TargetInstr = *tiFlag
-		}
-	}
+	policy := opt.FailurePolicy
 	var reporter *obs.ProgressReporter
 	if *progFlag {
 		reporter = obs.NewProgressReporter(os.Stderr)
 		opt.Tracer = reporter
 	}
 
-	journalPath := *journalFlag
-	if journalPath == "" && *outFlag != "" {
-		journalPath = filepath.Join(*outFlag, "run.journal.jsonl")
+	closeJournal, err := cf.AttachJournal(&opt, *outFlag)
+	if err != nil {
+		cfgcli.Exit("ignite-bench", nil, err)
 	}
-	if *resumeFlag && journalPath == "" {
-		fmt.Fprintln(os.Stderr, "ignite-bench: -resume needs a journal (-journal or -out)")
-		os.Exit(2)
-	}
-	if journalPath != "" {
-		j, err := experiments.OpenJournal(journalPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer j.Close()
-		opt.Journal = j
-		if *resumeFlag {
-			loaded, skipped, err := j.Resume(opt.Cache)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "resumed %d cell(s) from %s (%d unreadable record(s) skipped)\n",
-				loaded, journalPath, skipped)
-		}
-	}
+	defer closeJournal()
 
 	var ids []experiments.ID
 	if *expFlag == "all" {
@@ -204,7 +141,7 @@ func main() {
 		Note:      *noteFlag,
 		GoVersion: runtime.Version(),
 		Workloads: len(opt.Workloads),
-		Parallel:  *parFlag,
+		Parallel:  cf.Parallel,
 	}
 	if report.Workloads == 0 {
 		report.Workloads = len(workload.All())

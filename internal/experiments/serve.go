@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"ignite/internal/lukewarm"
+	"ignite/internal/obs"
+	"ignite/internal/sim"
+	"ignite/internal/workload"
+)
+
+// CellSpec publicly identifies one simulation cell — the unit the serving
+// daemon coalesces concurrent invocation requests onto. It is the exported
+// face of the (workload, config, tweaks, mode) key the experiment matrix
+// uses internally, so a cell served over HTTP is the same cell, under the
+// same cache key, that the batch pipeline computes: results are
+// bit-identical between the two paths by construction.
+type CellSpec struct {
+	// Workload is the full function specification. Servers that override
+	// the instruction budget (CI smokes, tests) adjust TargetInstr here;
+	// the budget is part of the cache key.
+	Workload workload.Spec
+	// Config is the front-end configuration kind (sim.KindIgnite, ...).
+	Config sim.Kind
+	// Tweaks adjusts the configuration (sensitivity-study knobs).
+	Tweaks sim.Tweaks
+	// Mode selects back-to-back or interleaved execution.
+	Mode lukewarm.Mode
+}
+
+func (cs CellSpec) runConfig() runConfig {
+	return runConfig{Name: string(cs.Config), Kind: cs.Config, Tweak: cs.Tweaks, Mode: cs.Mode}
+}
+
+// Key returns the cell's canonical cache key: everything that determines
+// its outcome, nothing that doesn't (tracing, checks and watchdogs are
+// excluded, see CellEnv).
+func (cs CellSpec) Key() string { return cellKey(cs.Workload, cs.runConfig()) }
+
+// CellEnv carries the per-run knobs that shape how a fresh cell simulates
+// without affecting its result — none of them are part of the cache key.
+type CellEnv struct {
+	// Tracer receives invocation/replay lifecycle events from freshly
+	// simulated cells (nil = no tracing).
+	Tracer obs.Tracer
+	// Checks enables the runtime invariant verifier (sim.WithChecks) on
+	// freshly simulated cells.
+	Checks bool
+	// MaxCycles arms the per-invocation cycle-budget watchdog
+	// (0 = unlimited).
+	MaxCycles uint64
+}
+
+// ServedCell is the public view of one computed cell: the lukewarm result
+// plus the cell's flattened metric snapshot, exactly what the batch
+// pipeline caches (the engine behind it has already been released).
+type ServedCell struct {
+	// Key is the cell's canonical cache key (CellSpec.Key).
+	Key string
+	// Res is the protocol result over the measured invocations.
+	Res *lukewarm.Result
+	// Metrics is the cell's registry snapshot, keyed by obs sample key.
+	Metrics map[string]float64
+}
+
+// Invoke computes (or serves from cache) the cell identified by cs,
+// single-flight: concurrent Invokes of one key share one simulation. The
+// second return reports whether the cell was served from the cache. This is
+// the serving daemon's entry point into the same memoized cells the
+// experiment matrix runs on.
+func (cc *CellCache) Invoke(cs CellSpec, env CellEnv) (*ServedCell, bool, error) {
+	c, hit, err := cc.cell(cs.Workload, cs.runConfig(),
+		cellEnv{tracer: env.Tracer, checks: env.Checks, maxCycles: env.MaxCycles})
+	if err != nil {
+		return nil, hit, err
+	}
+	return &ServedCell{Key: cs.Key(), Res: c.Res, Metrics: c.Metrics}, hit, nil
+}

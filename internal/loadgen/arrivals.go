@@ -1,0 +1,129 @@
+// Package loadgen is the open-loop load generator behind cmd/ignite-load:
+// deterministic arrival schedules (Poisson, diurnal, bursty), a log-bucketed
+// quantile sketch for latency percentiles, and a versioned JSON report.
+//
+// Open-loop means requests fire at their scheduled arrival times regardless
+// of how fast the server answers — the generator never waits for a response
+// before sending the next request, so server slowdowns surface as latency
+// (queueing at the server) rather than silently throttling offered load,
+// the coordinated-omission trap closed-loop generators fall into.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// Process names the supported arrival processes.
+type Process string
+
+const (
+	// Poisson is a homogeneous Poisson process: i.i.d. exponential
+	// inter-arrival gaps at the target rate.
+	Poisson Process = "poisson"
+	// Diurnal modulates a Poisson process with a sinusoidal day curve
+	// (compressed into the run's duration): rate swings ±75% around the
+	// target, produced by thinning a max-rate Poisson stream.
+	Diurnal Process = "diurnal"
+	// Bursty is an on/off Markov-modulated Poisson process with
+	// heavy-tailed (Pareto) dwell times — a crude self-similar workload:
+	// bursts at 4× the target rate separated by heavy-tailed quiet gaps.
+	Bursty Process = "bursty"
+)
+
+// ParseProcess resolves the wire spelling of an arrival process.
+func ParseProcess(s string) (Process, error) {
+	switch Process(s) {
+	case Poisson, Diurnal, Bursty:
+		return Process(s), nil
+	case "":
+		return Poisson, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown arrival process %q (valid: poisson, diurnal, bursty)", s)
+}
+
+// Schedule generates the arrival offsets (from test start) of one run:
+// process at rate req/s for the given duration, driven entirely by a
+// PCG(seed) stream — the same seed always reproduces the identical
+// schedule, which is what the determinism test pins.
+func Schedule(p Process, rate float64, duration time.Duration, seed uint64) []time.Duration {
+	if rate <= 0 || duration <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x69676e697465)) // "ignite"
+	switch p {
+	case Diurnal:
+		return diurnal(rng, rate, duration)
+	case Bursty:
+		return bursty(rng, rate, duration)
+	default:
+		return poisson(rng, rate, duration)
+	}
+}
+
+// expGap draws one exponential inter-arrival gap at the given rate.
+func expGap(rng *rand.Rand, rate float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+func poisson(rng *rand.Rand, rate float64, duration time.Duration) []time.Duration {
+	out := make([]time.Duration, 0, int(rate*duration.Seconds())+16)
+	for t := expGap(rng, rate); t < duration; t += expGap(rng, rate) {
+		out = append(out, t)
+	}
+	return out
+}
+
+// diurnal thins a Poisson stream at the peak rate down to a sinusoidal
+// instantaneous rate: λ(t) = rate · (1 + 0.75·sin(2πt/duration)). Thinning
+// keeps the schedule exact for the inhomogeneous process without numeric
+// integration.
+func diurnal(rng *rand.Rand, rate float64, duration time.Duration) []time.Duration {
+	peak := rate * 1.75
+	out := make([]time.Duration, 0, int(rate*duration.Seconds())+16)
+	for t := expGap(rng, peak); t < duration; t += expGap(rng, peak) {
+		frac := float64(t) / float64(duration)
+		lambda := rate * (1 + 0.75*math.Sin(2*math.Pi*frac))
+		if rng.Float64()*peak < lambda {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// bursty alternates Pareto-dwelled ON periods (Poisson at 4× rate) and OFF
+// periods (silence), tuned so the long-run average offered load is the
+// target rate. Heavy-tailed dwells (α=1.5, finite mean, infinite variance)
+// give the burst-length distribution the long-range dependence that makes
+// aggregated traffic self-similar.
+func bursty(rng *rand.Rand, rate float64, duration time.Duration) []time.Duration {
+	const (
+		burstFactor = 4.0
+		alpha       = 1.5
+		meanOn      = 200 * time.Millisecond
+	)
+	// Duty cycle must satisfy on/(on+off) = 1/burstFactor for the average
+	// rate to come out at the target.
+	meanOff := time.Duration(float64(meanOn) * (burstFactor - 1))
+	pareto := func(mean time.Duration) time.Duration {
+		// Pareto with shape α has mean xm·α/(α-1); solve xm from the mean.
+		xm := float64(mean) * (alpha - 1) / alpha
+		return time.Duration(xm / math.Pow(rng.Float64(), 1/alpha))
+	}
+	out := make([]time.Duration, 0, int(rate*duration.Seconds())+16)
+	t := time.Duration(0)
+	for t < duration {
+		onEnd := t + pareto(meanOn)
+		for gap := expGap(rng, rate*burstFactor); t+gap < onEnd; gap = expGap(rng, rate*burstFactor) {
+			t += gap
+			if t >= duration {
+				return out
+			}
+			out = append(out, t)
+		}
+		t = onEnd + pareto(meanOff)
+	}
+	return out
+}

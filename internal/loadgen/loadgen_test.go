@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins the load generator's core contract: the
+// same (process, rate, duration, seed) always yields the identical arrival
+// schedule, and a different seed yields a different one.
+func TestScheduleDeterministic(t *testing.T) {
+	for _, p := range []Process{Poisson, Diurnal, Bursty} {
+		a := Schedule(p, 500, 2*time.Second, 42)
+		b := Schedule(p, 500, 2*time.Second, 42)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty schedule", p)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", p)
+		}
+		c := Schedule(p, 500, 2*time.Second, 43)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical schedules", p)
+		}
+	}
+}
+
+// TestScheduleShape checks ordering, range, and approximate rate for each
+// process.
+func TestScheduleShape(t *testing.T) {
+	const rate, dur = 1000.0, 10 * time.Second
+	for _, p := range []Process{Poisson, Diurnal, Bursty} {
+		sched := Schedule(p, rate, dur, 7)
+		if !sort.SliceIsSorted(sched, func(i, j int) bool { return sched[i] < sched[j] }) {
+			t.Errorf("%s: schedule not sorted", p)
+		}
+		for _, off := range sched {
+			if off < 0 || off >= dur {
+				t.Errorf("%s: offset %v outside [0, %v)", p, off, dur)
+			}
+		}
+		// All three processes target the same long-run average rate. The
+		// bursty process has heavy-tailed (infinite-variance) dwells, so
+		// any finite window can land far from the mean — its band only
+		// catches order-of-magnitude mistakes.
+		got := float64(len(sched)) / dur.Seconds()
+		lo, hi := rate*0.8, rate*1.2
+		if p == Bursty {
+			lo, hi = rate*0.25, rate*3
+		}
+		if got < lo || got > hi {
+			t.Errorf("%s: achieved %.0f arrivals/s, want within [%.0f, %.0f]", p, got, lo, hi)
+		}
+	}
+}
+
+// TestBurstyIsBursty asserts the bursty process actually clusters arrivals:
+// its inter-arrival coefficient of variation must exceed the Poisson
+// process's (which is ~1 for exponential gaps).
+func TestBurstyIsBursty(t *testing.T) {
+	cv := func(sched []time.Duration) float64 {
+		var gaps []float64
+		for i := 1; i < len(sched); i++ {
+			gaps = append(gaps, float64(sched[i]-sched[i-1]))
+		}
+		var sum float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		var sq float64
+		for _, g := range gaps {
+			sq += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(sq/float64(len(gaps))) / mean
+	}
+	poissonCV := cv(Schedule(Poisson, 1000, 10*time.Second, 3))
+	burstyCV := cv(Schedule(Bursty, 1000, 10*time.Second, 3))
+	if burstyCV <= poissonCV {
+		t.Errorf("bursty CV %.2f <= poisson CV %.2f; arrivals are not clustered", burstyCV, poissonCV)
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	if p, err := ParseProcess(""); err != nil || p != Poisson {
+		t.Errorf("default process = %v, %v", p, err)
+	}
+	if _, err := ParseProcess("fractal"); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+// TestSketchQuantiles checks the log-bucketed sketch against exact
+// quantiles of a known sample: every estimate must be within the sketch's
+// 2% relative-error bound (plus the bucket-midpoint rounding).
+func TestSketchQuantiles(t *testing.T) {
+	s := NewSketch()
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		s.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if s.Count() != n {
+		t.Fatalf("count = %d", s.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(s.Quantile(q))
+		want := q * n * float64(time.Microsecond)
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("q%.3f = %v, want ~%v (rel err %.3f)", q, time.Duration(got), time.Duration(want), rel)
+		}
+	}
+	min, p50, p99, p999, max := s.Summary()
+	if min != time.Microsecond || max != n*time.Microsecond {
+		t.Errorf("min/max = %v/%v", min, max)
+	}
+	if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+		t.Errorf("quantiles not monotone: %v %v %v %v", p50, p99, p999, max)
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sketch quantile != 0")
+	}
+	s.Observe(0)
+	s.Observe(500 * time.Nanosecond) // below the 1µs base bucket
+	if s.Quantile(0.5) > time.Microsecond {
+		t.Errorf("sub-base observations misplaced: %v", s.Quantile(0.5))
+	}
+}
+
+// TestReportRoundTripAndVersionGate mirrors the obs.Document contract for
+// the load-report document.
+func TestReportRoundTripAndVersionGate(t *testing.T) {
+	r := Report{
+		Function: "Auth-G", Config: "ignite", Mode: "interleaved",
+		Process: "poisson", TargetRPS: 10000, DurationSec: 5, Seed: 1,
+		Scheduled: 50000, Sent: 50000, OK: 49990, Errors: 10,
+		AchievedRPS: 9998,
+		Latency:     LatencySummary{P50Ms: 0.8, P99Ms: 4.2, P999Ms: 9.9},
+		ServerSide:  ServerSide{Batches: 2, BatchedRequests: 17, CoalescingRatio: 8.5},
+	}
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Kind != ReportKind {
+		t.Errorf("version/kind not stamped: %+v", back)
+	}
+	if back.OK != r.OK || back.Latency != r.Latency || back.ServerSide != r.ServerSide {
+		t.Error("round trip lost data")
+	}
+
+	bumped := bytes.Replace(data, []byte(`"schemaVersion": 1`), []byte(`"schemaVersion": 2`), 1)
+	if bytes.Equal(bumped, data) {
+		t.Fatal("fixture did not contain the version field")
+	}
+	if _, err := DecodeReport(bumped); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("future schema version accepted: %v", err)
+	}
+}
+
+// TestRunnerOpenLoop drives a stub server and verifies the runner's
+// accounting: every scheduled request is sent, latency is measured from the
+// scheduled arrival, and non-2xx answers count as errors.
+func TestRunnerOpenLoop(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%5 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	sched := Schedule(Poisson, 2000, 200*time.Millisecond, 11)
+	stats, err := Run(context.Background(), RunConfig{
+		URL:      srv.URL,
+		Body:     []byte(`{"x":1}`),
+		Schedule: sched,
+		Senders:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sent != uint64(len(sched)) || stats.Scheduled != uint64(len(sched)) {
+		t.Errorf("sent %d of %d scheduled", stats.Sent, len(sched))
+	}
+	if stats.OK+stats.Errors != stats.Sent {
+		t.Errorf("ok %d + errors %d != sent %d", stats.OK, stats.Errors, stats.Sent)
+	}
+	if stats.Errors == 0 {
+		t.Error("stub 429s not counted as errors")
+	}
+	if stats.StatusCount["429"] == 0 || stats.StatusCount["200"] == 0 {
+		t.Errorf("status counts = %v", stats.StatusCount)
+	}
+	if stats.Latency.Count() != stats.Sent {
+		t.Errorf("latency count %d != sent %d", stats.Latency.Count(), stats.Sent)
+	}
+	if stats.AchievedRPS() <= 0 {
+		t.Error("achieved RPS not computed")
+	}
+}
+
+// TestRunnerCancel verifies a canceled context stops dispatch.
+func TestRunnerCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	sched := Schedule(Poisson, 100, 10*time.Second, 1)
+	stats, err := Run(ctx, RunConfig{URL: srv.URL, Body: []byte(`{}`), Schedule: sched})
+	if err == nil {
+		t.Error("canceled run returned nil error")
+	}
+	if stats.Sent >= uint64(len(sched)) {
+		t.Errorf("cancel did not stop dispatch: sent %d of %d", stats.Sent, len(sched))
+	}
+}

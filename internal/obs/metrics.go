@@ -11,9 +11,11 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one key=value dimension of a metric.
@@ -77,32 +79,53 @@ const (
 )
 
 // Counter is a monotonically increasing event counter owned by the
-// registry. The zero value is ready to use; methods are not synchronized —
-// a counter belongs to one simulation goroutine, like the engine's own
-// statistics.
-type Counter struct{ n uint64 }
+// registry. The zero value is ready to use. Updates are atomic, so a
+// counter may be incremented from many goroutines (server request handlers)
+// while a concurrent Snapshot scrapes it — the serving daemon's /metrics
+// endpoint reads live registries, unlike the batch pipeline's post-run
+// snapshots. The engine's own hot-path statistics remain the unsynchronized
+// stats.Counter; they enter a registry only through CounterFunc once their
+// cell is quiescent.
+type Counter struct{ n atomic.Uint64 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add increments the counter by delta.
-func (c *Counter) Add(delta uint64) { c.n += delta }
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
-// Gauge is a point-in-time value.
-type Gauge struct{ v float64 }
+// Gauge is a point-in-time value. Set/Add/Value are atomic, safe against
+// concurrent scrapes.
+type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores the value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (negative deltas decrease it) — the
+// in-flight-request idiom: Add(1) on entry, Add(-1) on exit.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Value returns the stored value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Distribution accumulates observations (count, sum, min, max). It keeps
 // constant state rather than samples, so hot paths can Observe freely.
+// Observations are mutex-guarded: the multi-field update must be atomic as
+// a unit for concurrent observers and scrapers (batch sizes recorded by
+// server workers while /metrics snapshots the registry).
 type Distribution struct {
+	mu       sync.Mutex
 	count    uint64
 	sum      float64
 	min, max float64
@@ -110,6 +133,7 @@ type Distribution struct {
 
 // Observe folds one observation into the distribution.
 func (d *Distribution) Observe(v float64) {
+	d.mu.Lock()
 	if d.count == 0 || v < d.min {
 		d.min = v
 	}
@@ -118,17 +142,35 @@ func (d *Distribution) Observe(v float64) {
 	}
 	d.count++
 	d.sum += v
+	d.mu.Unlock()
 }
 
 // Count returns the number of observations.
-func (d *Distribution) Count() uint64 { return d.count }
+func (d *Distribution) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
 
 // Mean returns the arithmetic mean of observations (0 when empty).
 func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meanLocked()
+}
+
+func (d *Distribution) meanLocked() float64 {
 	if d.count == 0 {
 		return 0
 	}
 	return d.sum / float64(d.count)
+}
+
+// read returns a consistent (mean, count, min, max) quadruple.
+func (d *Distribution) read() (mean float64, count uint64, min, max float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meanLocked(), d.count, d.min, d.max
 }
 
 // metric is one registered instrument.
@@ -156,9 +198,11 @@ func sampleKey(name string, labels Labels) string {
 }
 
 // Registry holds a set of named, labeled metrics. Registration is
-// synchronized (components register concurrently under the cell scheduler);
-// the returned instruments themselves are single-goroutine, matching the
-// engine's execution model of one goroutine per simulation cell.
+// synchronized (components register concurrently under the cell scheduler),
+// and the registry-owned instruments — Counter, Gauge, Distribution — are
+// safe for concurrent update and scrape, so a live registry can back an
+// HTTP /metrics endpoint while request workers update it. Read-through
+// CounterFunc/GaugeFunc metrics carry their own contract: see CounterFunc.
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
@@ -201,6 +245,15 @@ func (r *Registry) Counter(name string, labels Labels) *Counter {
 // CounterFunc registers a read-through counter whose value is sampled from
 // fn at snapshot time — the bridge for components that keep their own
 // hot-path counters (BTB, caches, traffic) and expose them uniformly here.
+//
+// fn is called with the registry lock held but with no synchronization
+// against the component it reads. The caller must guarantee one of:
+// the component is quiescent by the time the registry is scraped (the batch
+// pipeline's contract — cell metrics are registered and snapshotted only
+// after the cell's run completes, see CellCache.compute), or fn reads an
+// atomic source (obs.RunHealth's atomic.Int64 counters, the serving
+// daemon's live queue-depth gauge). A read-through function over a
+// still-running engine's plain counters is a data race by construction.
 func (r *Registry) CounterFunc(name string, labels Labels, fn func() uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -220,7 +273,9 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	return m.gauge
 }
 
-// GaugeFunc registers a read-through gauge sampled from fn at snapshot time.
+// GaugeFunc registers a read-through gauge sampled from fn at snapshot
+// time. The same synchronization contract as CounterFunc applies: fn must
+// read a quiescent component or an atomic source.
 func (r *Registry) GaugeFunc(name string, labels Labels, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -278,10 +333,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case m.gauge != nil:
 			s.Value = m.gauge.Value()
 		case m.dist != nil:
-			s.Value = m.dist.Mean()
-			s.Count = m.dist.count
-			s.Min = m.dist.min
-			s.Max = m.dist.max
+			s.Value, s.Count, s.Min, s.Max = m.dist.read()
 		}
 		out = append(out, s)
 	}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -85,6 +86,66 @@ func TestRegistryConcurrentRegistration(t *testing.T) {
 	wg.Wait()
 	if n := len(r.Snapshot()); n != 2 {
 		t.Errorf("got %d metrics, want 2", n)
+	}
+}
+
+// TestInstrumentsConcurrentScrape hammers every registry-owned instrument
+// from many goroutines while another scrapes snapshots — the serving
+// daemon's /metrics access pattern. Run under -race (scripts/ci.sh does),
+// this is the proof that registry-owned instruments are scrape-safe; the
+// read-through CounterFunc here deliberately uses an atomic source, per the
+// contract documented on CounterFunc.
+func TestInstrumentsConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs", nil)
+	g := r.Gauge("inflight", nil)
+	d := r.Distribution("batch", nil)
+	var backing atomic.Uint64
+	r.CounterFunc("bridged", nil, func() uint64 { return backing.Load() })
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				d.Observe(float64(i % 32))
+				backing.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	snap := r.Snapshot()
+	v := snap.Values()
+	if v["reqs"] != workers*iters || v["bridged"] != workers*iters {
+		t.Errorf("lost updates: %v", v)
+	}
+	if v["inflight"] != 0 {
+		t.Errorf("inflight gauge = %v, want 0", v["inflight"])
+	}
+	if s, _ := snap.Get("batch"); s.Count != workers*iters {
+		t.Errorf("distribution count = %d, want %d", s.Count, workers*iters)
 	}
 }
 

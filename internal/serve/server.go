@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ignite/internal/experiments"
+	"ignite/internal/faults"
+	"ignite/internal/obs"
+	"ignite/internal/workload"
+)
+
+// Server timeouts; overridable through Config.
+const (
+	defaultRequestTimeout = 60 * time.Second
+	maxRequestTimeout     = 5 * time.Minute
+	drainGrace            = 30 * time.Second
+	maxBodyBytes          = 1 << 20
+)
+
+// Config shapes one serving daemon.
+type Config struct {
+	// Addr is the listen address (":8080"; ":0" for an ephemeral port).
+	Addr string
+	// TargetInstr overrides every function's instruction budget when > 0 —
+	// CI smokes and tests serve small cells; production serves Table 1's.
+	TargetInstr uint64
+	// Checks enables the runtime invariant verifier on fresh cells.
+	Checks bool
+	// MaxCycles arms the per-invocation watchdog on fresh cells.
+	MaxCycles uint64
+	// Faults is the injection plan (nil = none), from IGNITE_FAULTS.
+	Faults *faults.Plan
+	// Registry receives the serve.* metric family (nil = private registry).
+	Registry *obs.Registry
+	// Tracer observes fresh cell simulations (nil = none).
+	Tracer obs.Tracer
+
+	// Batching/admission knobs (zero = defaults; see batcher.go).
+	MaxBatch int
+	MaxWait  time.Duration
+	Queue    int
+	Workers  int
+	Retries  int
+	Backoff  time.Duration
+
+	// RequestTimeout is the default per-request deadline; a request's
+	// timeoutMs may shorten or extend it up to 5 minutes.
+	RequestTimeout time.Duration
+}
+
+// Server is the invocation-serving daemon: HTTP handlers in front of a
+// coalescing Batcher in front of the experiment layer's cell cache.
+//
+// The hot path never reaches the batcher: every successful response body is
+// remembered under its request body, so a repeated request (the steady state
+// of a load test hammering one warm function) costs one map lookup and one
+// write. Cells are pure functions of their key, which is what makes the
+// pre-encoded bytes reusable verbatim.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	batcher  *Batcher
+	cache    *experiments.CellCache
+	start    time.Time
+	draining atomic.Bool
+
+	// respCache maps exact request-body bytes → pre-encoded response bytes.
+	// Distinct spellings of the same cell simply occupy two entries; both
+	// point at the one cached cell underneath.
+	respCache sync.Map
+
+	listener net.Listener
+	http     *http.Server
+	served   chan error
+
+	mRequests *obs.Counter
+	mOK       *obs.Counter
+	mErrors   *obs.Counter
+	mShed     *obs.Counter
+	mFast     *obs.Counter
+	mInflight *obs.Gauge
+}
+
+// NewServer builds a daemon from cfg. Call Start to begin listening.
+func NewServer(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = defaultRequestTimeout
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cache := experiments.NewCellCache()
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: cache,
+		batcher: NewBatcher(BatcherConfig{
+			Cache:    cache,
+			Env:      experiments.CellEnv{Tracer: cfg.Tracer, Checks: cfg.Checks, MaxCycles: cfg.MaxCycles},
+			Faults:   cfg.Faults,
+			MaxBatch: cfg.MaxBatch,
+			MaxWait:  cfg.MaxWait,
+			Queue:    cfg.Queue,
+			Workers:  cfg.Workers,
+			Retries:  cfg.Retries,
+			Backoff:  cfg.Backoff,
+		}, reg),
+		start:  time.Now(),
+		served: make(chan error, 1),
+	}
+	l := obs.L("component", "serve")
+	s.mRequests = reg.Counter("serve.requests", l)
+	s.mOK = reg.Counter("serve.responses_ok", l)
+	s.mErrors = reg.Counter("serve.responses_error", l)
+	s.mShed = reg.Counter("serve.shed", l)
+	s.mFast = reg.Counter("serve.fast_path_hits", l)
+	s.mInflight = reg.Gauge("serve.inflight", l)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathInvoke, s.handleInvoke)
+	mux.HandleFunc(PathCatalog, s.handleCatalog)
+	mux.HandleFunc(PathMetrics, s.handleMetrics)
+	mux.HandleFunc(PathHealthz, s.handleHealthz)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Start binds the listen address and serves in the background. After Start
+// returns, Addr reports the bound address (useful with ":0").
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.listener = ln
+	go func() {
+		err := s.http.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.served <- err
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains the daemon: stop accepting connections, wait for in-flight
+// handlers (they need the batcher alive), then drain the batcher's pending
+// batches. This ordering is what makes SIGTERM lossless — every admitted
+// request is answered before the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	s.batcher.Close()
+	if serveErr := <-s.served; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// Run serves until ctx is canceled (SIGTERM via signal.NotifyContext), then
+// drains with a bounded grace period.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	grace, cancel := context.WithTimeout(context.Background(), drainGrace)
+	defer cancel()
+	return s.Shutdown(grace)
+}
+
+// handleInvoke is POST /v1/invoke.
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	s.mRequests.Inc()
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+
+	if r.Method != http.MethodPost {
+		s.writeError(w, envelope(CodeBadRequest, "use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, envelope(CodeBadRequest, "read body: %v", err))
+		return
+	}
+
+	// Hot path: a byte-identical request replays its pre-encoded response.
+	if enc, ok := s.respCache.Load(string(body)); ok {
+		s.mFast.Inc()
+		s.mOK.Inc()
+		writeJSONBytes(w, http.StatusOK, enc.([]byte))
+		return
+	}
+
+	req, envErr := ParseInvokeRequest(body)
+	if envErr != nil {
+		s.writeError(w, envErr)
+		return
+	}
+	spec, envErr := s.resolve(req)
+	if envErr != nil {
+		s.writeError(w, envErr)
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > maxRequestTimeout {
+			timeout = maxRequestTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeoutCause(r.Context(), timeout,
+		fmt.Errorf("request exceeded its %s deadline", timeout))
+	defer cancel()
+
+	cell, cached, batchSize, envErr := s.batcher.Submit(ctx, spec)
+	if envErr != nil {
+		s.writeError(w, envErr)
+		return
+	}
+
+	resp := InvokeResponse{
+		SchemaVersion: SchemaVersion,
+		Function:      spec.Workload.Name,
+		Config:        string(spec.Config),
+		Mode:          req.Mode,
+		CellKey:       cell.Key,
+		Cached:        cached,
+		BatchSize:     batchSize,
+		Result:        ResultFrom(cell.Res),
+	}
+	if resp.Mode == "" {
+		resp.Mode = "interleaved"
+	}
+	enc, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, envelope(CodeInternal, "encode response: %v", err))
+		return
+	}
+	s.mOK.Inc()
+	writeJSONBytes(w, http.StatusOK, enc)
+
+	// Remember the warm variant for subsequent identical requests.
+	warm := resp
+	warm.Cached = true
+	warm.BatchSize = 0
+	if wenc, err := json.Marshal(warm); err == nil {
+		s.respCache.Store(string(body), wenc)
+	}
+}
+
+// resolve maps a validated wire request onto a cell spec.
+func (s *Server) resolve(req InvokeRequest) (experiments.CellSpec, *ErrorEnvelope) {
+	var spec experiments.CellSpec
+	wl, err := workload.ByName(req.Function)
+	if err != nil {
+		return spec, envelope(CodeUnknownFunction, "%v", err)
+	}
+	if s.cfg.TargetInstr > 0 {
+		wl.TargetInstr = s.cfg.TargetInstr
+	}
+	kind, envErr := ParseKind(req.Config)
+	if envErr != nil {
+		return spec, envErr
+	}
+	mode, envErr := ParseMode(req.Mode)
+	if envErr != nil {
+		return spec, envErr
+	}
+	tweaks, terr := req.Tweaks.ToSim()
+	if terr != nil {
+		return spec, envelope(CodeBadRequest, "%v", terr)
+	}
+	return experiments.CellSpec{Workload: wl, Config: kind, Tweaks: tweaks, Mode: mode}, nil
+}
+
+// handleCatalog is GET /v1/catalog.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	configs := make([]string, 0, 11)
+	for _, k := range allKinds() {
+		configs = append(configs, k)
+	}
+	writeJSON(w, http.StatusOK, CatalogResponse{
+		SchemaVersion: SchemaVersion,
+		Functions:     workload.Names(),
+		Configs:       configs,
+		Modes:         []string{"interleaved", "back-to-back"},
+	})
+}
+
+// handleMetrics is GET /metrics: the registry snapshot as a versioned
+// document. Instruments are scrape-safe (see obs.Registry), so this reads a
+// live registry while request workers update it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	doc := MetricsDocument{
+		SchemaVersion: SchemaVersion,
+		Kind:          MetricsDocumentKind,
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Samples:       make([]MetricSample, 0, len(snap)),
+	}
+	for _, smp := range snap {
+		doc.Samples = append(doc.Samples, MetricSample{
+			Key:   smp.Key(),
+			Kind:  string(smp.Kind),
+			Value: smp.Value,
+			Count: smp.Count,
+			Min:   smp.Min,
+			Max:   smp.Max,
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	cells, hits := s.cache.Stats()
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"uptimeSec": time.Since(s.start).Seconds(),
+		"cells":     cells,
+		"cellHits":  hits,
+	})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, env *ErrorEnvelope) {
+	if env.Code == CodeOverloaded {
+		s.mShed.Inc()
+	}
+	s.mErrors.Inc()
+	writeJSON(w, env.HTTPStatus(), env)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, code, enc)
+}
+
+func writeJSONBytes(w http.ResponseWriter, code int, enc []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(enc)
+}

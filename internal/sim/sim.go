@@ -113,28 +113,13 @@ type Setup struct {
 // New builds the setup for a workload under the named configuration.
 // Behaviour is adjusted through functional options: for example
 //
-//	sim.New(spec, sim.KindIgnite, sim.WithBTBEntries(2048), sim.WithDoubleBuffer())
+//	sim.New(spec, sim.KindIgnite, sim.WithBTBEntries(6144), sim.WithDoubleBuffer())
 func New(spec workload.Spec, kind Kind, opts ...Option) (*Setup, error) {
 	prog, _, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
 	return NewWithProgram(spec, prog, kind, opts...)
-}
-
-// NewFromTweaks is New with the pre-options positional Tweaks argument.
-//
-// Deprecated: use New with With* options (or WithTweaks for a bundle).
-func NewFromTweaks(spec workload.Spec, kind Kind, tw Tweaks) (*Setup, error) {
-	return New(spec, kind, WithTweaks(tw))
-}
-
-// NewProgramFromTweaks is NewWithProgram with the pre-options positional
-// Tweaks argument.
-//
-// Deprecated: use NewWithProgram with With* options.
-func NewProgramFromTweaks(spec workload.Spec, prog *cfg.Program, kind Kind, tw Tweaks) (*Setup, error) {
-	return NewWithProgram(spec, prog, kind, WithTweaks(tw))
 }
 
 // NewWithProgram is New for a pre-built program (reuse across setups).

@@ -75,6 +75,33 @@ go test -run TestProperties ./internal/check/props
 # fault-tolerance path visible on its own and honors a custom IGNITE_FAULTS.
 IGNITE_FAULTS=smoke go test ./internal/experiments -run Chaos
 
+# Serving smoke: boot the daemon on an ephemeral-ish port with tiny cells,
+# drive one low-RPS ignite-load burst (strict: any non-2xx fails the build),
+# then SIGTERM the daemon and require a clean drain (exit 0). The serve race
+# pass by name keeps the batcher/scrape path visible on its own.
+go build -o "$smoke/ignite-serve" ./cmd/ignite-serve
+go build -o "$smoke/ignite-load" ./cmd/ignite-load
+go test -race -run 'TestServerIntegration|TestBatcher|TestInstrumentsConcurrentScrape' \
+  ./internal/serve ./internal/obs
+(
+  cd "$smoke"
+  port=18431
+  ./ignite-serve -addr "127.0.0.1:$port" -target-instr 100000 2>serve.log &
+  serve_pid=$!
+  for _ in $(seq 50); do
+    curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  ./ignite-load -url "http://127.0.0.1:$port" \
+    -rps 200 -duration 2s -strict -out load-smoke.json >/dev/null
+  test -s load-smoke.json
+  grep -q '"kind": "ignite.load-report"' load-smoke.json
+  grep -q '"errors": 0,' load-smoke.json
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"   # non-zero (unclean drain) fails the build via set -e
+  grep -q 'drained' serve.log
+)
+
 # Resume smoke: a journaled run, then a second run resumed from that journal
 # into a different output dir — the exported documents must match except for
 # the generation timestamp.
@@ -90,4 +117,4 @@ IGNITE_FAULTS=smoke go test ./internal/experiments -run Chaos
        <(grep -v '"generated"' resume-b/fig1.json)
 )
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, resume)"
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, resume)"
