@@ -1,0 +1,173 @@
+// Command ignite-fleet runs the fleet-scale multi-tenant simulation: it
+// samples a synthetic function population from the paper's Figure-2
+// characterization distributions and plays its arrival schedules through
+// the per-node metadata-budget market under a ladder of admission policies.
+//
+// Usage:
+//
+//	ignite-fleet                              # 1000 functions, default sweep
+//	ignite-fleet -n 5000 -seed 9              # bigger population
+//	ignite-fleet -policies lru,benefit -budgets 4,16,64
+//	ignite-fleet -exp pop                     # population characterization only
+//	ignite-fleet -out results/                # versioned JSON documents
+//	ignite-fleet -out results/ -stamp         # documents with a timestamp
+//
+// Exported documents are byte-deterministic for a given seed and sweep
+// unless -stamp embeds the generation time. Ctrl-C exits 130; usage errors
+// exit 2; failures exit 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ignite/internal/cfgcli"
+	"ignite/internal/experiments"
+	"ignite/internal/fleet/budget"
+	"ignite/internal/loadgen"
+	"ignite/internal/obs"
+)
+
+func main() {
+	def := experiments.DefaultFleetParams()
+	seedFlag := flag.Uint64("seed", def.Seed, "population and arrival-schedule seed")
+	nFlag := flag.Int("n", def.N, "population size (sampled functions)")
+	rateFlag := flag.Float64("rate-scale", def.RateScale, "scale every sampled arrival rate")
+	durFlag := flag.Duration("duration", def.Duration, "simulated market window")
+	procFlag := flag.String("process", string(def.Process), "arrival process: poisson, diurnal, bursty")
+	polFlag := flag.String("policies", strings.Join(def.Policies, ","),
+		"comma-separated budget policies (valid: "+strings.Join(budget.PolicyNames(), ", ")+")")
+	budFlag := flag.String("budgets", budgetsMiB(def.Budgets),
+		"comma-separated per-node metadata budgets in MiB")
+	expFlag := flag.String("exp", "all", "which fleet experiments to run: pop, frontier, all")
+	outFlag := flag.String("out", "", "directory for machine-readable JSON result documents")
+	stampFlag := flag.Bool("stamp", false, "embed the generation time in exported documents (breaks byte-determinism)")
+	flag.Parse()
+
+	ctx, stop := cfgcli.SignalContext()
+	defer stop()
+	err := run(ctx, fleetArgs{
+		seed: *seedFlag, n: *nFlag, rateScale: *rateFlag, duration: *durFlag,
+		process: *procFlag, policies: *polFlag, budgets: *budFlag,
+		exp: *expFlag, out: *outFlag, stamp: *stampFlag,
+	})
+	cfgcli.Exit("ignite-fleet", ctx, err)
+}
+
+type fleetArgs struct {
+	seed      uint64
+	n         int
+	rateScale float64
+	duration  time.Duration
+	process   string
+	policies  string
+	budgets   string
+	exp       string
+	out       string
+	stamp     bool
+}
+
+func run(ctx context.Context, a fleetArgs) error {
+	proc, err := loadgen.ParseProcess(a.process)
+	if err != nil {
+		return cfgcli.Usage("ignite-fleet: %v", err)
+	}
+	var policies []string
+	for _, raw := range strings.Split(a.policies, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if _, err := budget.NewPolicy(name); err != nil {
+			return cfgcli.Usage("ignite-fleet: %v", err)
+		}
+		policies = append(policies, name)
+	}
+	budgets, err := parseBudgets(a.budgets)
+	if err != nil {
+		return cfgcli.Usage("ignite-fleet: %v", err)
+	}
+	params := experiments.FleetParams{
+		Seed:      a.seed,
+		N:         a.n,
+		RateScale: a.rateScale,
+		Duration:  a.duration,
+		Process:   proc,
+		Policies:  policies,
+		Budgets:   budgets,
+	}
+
+	var ids []string
+	switch a.exp {
+	case "pop":
+		ids = []string{"fleet-pop"}
+	case "frontier":
+		ids = []string{"fleet-frontier"}
+	case "all", "":
+		ids = []string{"fleet-pop", "fleet-frontier"}
+	default:
+		return cfgcli.Usage("ignite-fleet: unknown -exp %q (valid: pop, frontier, all)", a.exp)
+	}
+
+	man := obs.Manifest{GoVersion: runtime.Version()}
+	if a.stamp {
+		man.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	for _, id := range ids {
+		var res *experiments.Result
+		var err error
+		start := time.Now()
+		switch id {
+		case "fleet-pop":
+			res, err = experiments.FleetPopulation(ctx, experiments.Options{}, params)
+		case "fleet-frontier":
+			res, err = experiments.FleetFrontier(ctx, experiments.Options{}, params)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		if a.out != "" {
+			path, err := res.Document(man).WriteFile(a.out, string(res.ID))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func budgetsMiB(budgets []uint64) string {
+	parts := make([]string, len(budgets))
+	for i, b := range budgets {
+		parts[i] = strconv.FormatUint(b>>20, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseBudgets(s string) ([]uint64, error) {
+	var out []uint64
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		mib, err := strconv.ParseFloat(raw, 64)
+		if err != nil || mib <= 0 {
+			return nil, fmt.Errorf("invalid budget %q (want MiB > 0)", raw)
+		}
+		out = append(out, uint64(mib*(1<<20)))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no budgets given")
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@
 //	ignite-serve                                  # listen on :8080
 //	ignite-serve -addr :9000 -parallel 4
 //	ignite-serve -target-instr 20000              # small cells (CI smoke)
+//	ignite-serve -population 42,1000              # also serve a sampled fleet population
 //	IGNITE_FAULTS='transient:serve/*/*:n=3' ignite-serve   # chaos drill
 //
 // Endpoints: POST /v1/invoke, GET /v1/catalog, GET /metrics, GET /healthz.
@@ -21,10 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ignite/internal/cfgcli"
+	"ignite/internal/fleet/population"
 	"ignite/internal/serve"
+	"ignite/internal/workload"
 )
 
 // drainGrace bounds the SIGTERM drain: pending batches get this long to
@@ -37,6 +42,30 @@ func drainContext() context.Context {
 	return ctx
 }
 
+// parsePopulation resolves -population "seed,N" into servable specs.
+func parsePopulation(s string) ([]workload.Spec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	seedStr, nStr, ok := strings.Cut(s, ",")
+	if !ok {
+		return nil, cfgcli.Usage("ignite-serve: -population wants \"seed,N\", got %q", s)
+	}
+	seed, err := strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64)
+	if err != nil {
+		return nil, cfgcli.Usage("ignite-serve: -population seed: %v", err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nStr))
+	if err != nil || n <= 0 {
+		return nil, cfgcli.Usage("ignite-serve: -population size %q (want N > 0)", nStr)
+	}
+	fns, err := population.Sample(population.Params{Seed: seed, N: n})
+	if err != nil {
+		return nil, err
+	}
+	return population.Specs(fns), nil
+}
+
 func main() {
 	cf := cfgcli.New("ignite-serve")
 	cf.BindCore(flag.CommandLine)
@@ -45,9 +74,14 @@ func main() {
 	maxWaitFlag := flag.Duration("max-wait", 0, "max time a request waits for batch-mates before its cell flushes (0 = default 2ms)")
 	queueFlag := flag.Int("queue", 0, "admission queue capacity; overflow sheds with 429 (0 = default 1024)")
 	timeoutFlag := flag.Duration("request-timeout", 0, "default per-request deadline (0 = 60s)")
+	popFlag := flag.String("population", "", "serve a sampled fleet population alongside Table 1, as \"seed,N\" (e.g. \"42,1000\")")
 	flag.Parse()
 
 	plan, err := cfgcli.FaultsFromEnv()
+	if err != nil {
+		cfgcli.Exit("ignite-serve", nil, err)
+	}
+	pop, err := parsePopulation(*popFlag)
 	if err != nil {
 		cfgcli.Exit("ignite-serve", nil, err)
 	}
@@ -66,11 +100,15 @@ func main() {
 		MaxWait:        *maxWaitFlag,
 		Queue:          *queueFlag,
 		RequestTimeout: *timeoutFlag,
+		Population:     pop,
 	})
 	if err := srv.Start(); err != nil {
 		cfgcli.Exit("ignite-serve", nil, err)
 	}
 	fmt.Fprintf(os.Stderr, "ignite-serve: listening on %s\n", srv.Addr())
+	if len(pop) > 0 {
+		fmt.Fprintf(os.Stderr, "ignite-serve: serving %d sampled population function(s)\n", len(pop))
+	}
 
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "ignite-serve: draining")

@@ -29,9 +29,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"ignite/internal/engine"
 	"ignite/internal/experiments"
+	"ignite/internal/fleet/budget"
+	"ignite/internal/fleet/population"
 	"ignite/internal/ignite"
 	"ignite/internal/lukewarm"
 	"ignite/internal/sim"
@@ -54,6 +57,7 @@ func All() []Property {
 		{"l2-monotonicity", L2Monotonicity},
 		{"bim-policy-ordering", BIMPolicyOrdering},
 		{"mode-ordering", ModeOrdering},
+		{"fleet-budget-monotonicity", FleetBudgetMonotonicity},
 	}
 }
 
@@ -299,6 +303,50 @@ func ModeOrdering(spec workload.Spec) error {
 		if b2b.CPI() > il.CPI()*1.02 {
 			return fmt.Errorf("props: mode-ordering: %s/%s: back-to-back CPI %.3f exceeds interleaved %.3f",
 				spec.Name, kind, b2b.CPI(), il.CPI())
+		}
+	}
+	return nil
+}
+
+// FleetBudgetMonotonicity: in the fleet metadata-budget market, a larger
+// per-node budget never worsens the aggregate mean CPI under the static
+// top-K plan or the benefit-density policy — more room for metadata can
+// only keep more tenants on the lukewarm path. The spec only contributes
+// its generator seed (the property ranges over sampled populations, not
+// single workloads), so fuzzed specs explore different populations. LRU is
+// deliberately excluded: recency eviction admits Belady-style anomalies by
+// construction.
+func FleetBudgetMonotonicity(spec workload.Spec) error {
+	fns, err := population.Sample(population.Params{Seed: spec.Gen.Seed, N: 200})
+	if err != nil {
+		return err
+	}
+	tenants, err := budget.Tenants(fns, budget.Analytic{})
+	if err != nil {
+		return err
+	}
+	budgets := []uint64{1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 64 << 20}
+	for _, name := range []string{"topk", "benefit"} {
+		prev := math.Inf(1)
+		for _, b := range budgets {
+			pol, err := budget.NewPolicy(name)
+			if err != nil {
+				return err
+			}
+			o, err := budget.Run(tenants, budget.Params{
+				Seed:        spec.Gen.Seed,
+				Duration:    10 * time.Second,
+				BudgetBytes: b,
+				Policy:      pol,
+			})
+			if err != nil {
+				return err
+			}
+			if o.MeanCPI > prev+1e-9 {
+				return fmt.Errorf("props: fleet-budget-monotonicity: %s/seed %d: mean CPI rose from %.6f to %.6f when the budget grew to %d MiB",
+					name, spec.Gen.Seed, prev, o.MeanCPI, b>>20)
+			}
+			prev = o.MeanCPI
 		}
 	}
 	return nil

@@ -1,0 +1,283 @@
+package budget
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ignite/internal/fleet/population"
+	"ignite/internal/loadgen"
+)
+
+// Tenant is one function competing for the node's metadata budget: the
+// sampled function plus its priced costs.
+type Tenant struct {
+	F population.Function
+	C Costs
+}
+
+// Tenants prices a population under a cost model.
+func Tenants(fns []population.Function, m CostModel) ([]Tenant, error) {
+	out := make([]Tenant, len(fns))
+	for i, f := range fns {
+		c, err := m.Costs(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Tenant{F: f, C: c}
+	}
+	return out, nil
+}
+
+// Params configures one market run.
+type Params struct {
+	// Seed drives the per-tenant arrival schedules (tenant i's schedule is
+	// seeded by a splitmix of Seed and i, so tenants are decorrelated but
+	// the whole run is reproducible).
+	Seed uint64
+	// Duration is the simulated wall-clock window.
+	Duration time.Duration
+	// Process is the arrival process every tenant follows at its own rate.
+	Process loadgen.Process
+	// BudgetBytes is the node's shared metadata budget.
+	BudgetBytes uint64
+	// Policy decides residency. Policies implementing Unbounded() (the
+	// oracle) are priced with an unlimited budget.
+	Policy Policy
+}
+
+// Outcome summarizes one market run.
+type Outcome struct {
+	Policy      string
+	BudgetBytes uint64
+
+	Invocations int
+	Warm        int
+	Cold        int
+	Evictions   int
+	// HitRatio is Warm/Invocations.
+	HitRatio float64
+
+	// MeanCPI is the instruction-weighted aggregate CPI (Σcycles/Σinstrs).
+	MeanCPI float64
+	// P50CPI/P99CPI are invocation-weighted CPI percentiles.
+	P50CPI float64
+	P99CPI float64
+	// MeanResidentBytes is the time-weighted mean budget occupancy.
+	MeanResidentBytes float64
+}
+
+// event is one arrival in the merged schedule.
+type event struct {
+	at     time.Duration
+	tenant int
+}
+
+// tenantSeed decorrelates per-tenant schedules (splitmix64 increment).
+func tenantSeed(seed uint64, i int) uint64 {
+	return seed + uint64(i+1)*0x9e3779b97f4a7c15
+}
+
+// mergedSchedule builds the run's arrival sequence: every tenant's own
+// loadgen schedule at its sampled rate, merged and sorted by (time, tenant)
+// so the order is total and deterministic.
+func mergedSchedule(tenants []Tenant, p Params) []event {
+	var events []event
+	for i, t := range tenants {
+		for _, at := range loadgen.Schedule(p.Process, t.F.RatePerSec, p.Duration, tenantSeed(p.Seed, i)) {
+			events = append(events, event{at, i})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].tenant < events[b].tenant
+	})
+	return events
+}
+
+// Run plays the merged arrival schedule through the policy. The market
+// keeps its own residency ledger and fails the run if the policy ever
+// reports an admission the budget cannot hold or an eviction of a
+// non-resident tenant — policies are untrusted.
+func Run(tenants []Tenant, p Params) (Outcome, error) {
+	if len(tenants) == 0 {
+		return Outcome{}, fmt.Errorf("budget: empty tenant set")
+	}
+	if p.Policy == nil {
+		return Outcome{}, fmt.Errorf("budget: nil policy")
+	}
+	if p.Process == "" {
+		p.Process = loadgen.Poisson
+	}
+	if p.Duration <= 0 {
+		p.Duration = 60 * time.Second
+	}
+	budget := p.BudgetBytes
+	if u, ok := p.Policy.(unbounded); ok && u.Unbounded() {
+		budget = math.MaxUint64
+	}
+	p.Policy.Reset(tenants, budget)
+
+	events := mergedSchedule(tenants, p)
+	if len(events) == 0 {
+		return Outcome{}, fmt.Errorf("budget: no arrivals in %v (rates too low?)", p.Duration)
+	}
+
+	resident := make([]bool, len(tenants))
+	warmCount := make([]int, len(tenants))
+	coldCount := make([]int, len(tenants))
+	var used uint64
+	var residentIntegral float64 // byte-seconds
+	lastAt := time.Duration(0)
+
+	out := Outcome{Policy: p.Policy.Name(), BudgetBytes: p.BudgetBytes}
+	var cycles, instrs float64
+
+	for _, ev := range events {
+		residentIntegral += float64(used) * (ev.at - lastAt).Seconds()
+		lastAt = ev.at
+		now := ev.at.Seconds()
+		i := ev.tenant
+		t := &tenants[i]
+
+		if resident[i] {
+			out.Warm++
+			warmCount[i]++
+			cycles += t.C.WarmCPI * float64(t.C.Instrs)
+			p.Policy.OnHit(i, now)
+		} else {
+			out.Cold++
+			coldCount[i]++
+			cycles += t.C.ColdCPI * float64(t.C.Instrs)
+			admit, victims := p.Policy.OnMiss(i, now)
+			for _, v := range victims {
+				if !resident[v] {
+					return Outcome{}, fmt.Errorf("budget: policy %s evicted non-resident tenant %s",
+						p.Policy.Name(), tenants[v].F.Name)
+				}
+				resident[v] = false
+				used -= tenants[v].C.MetaBytes
+				out.Evictions++
+			}
+			if admit {
+				if resident[i] {
+					return Outcome{}, fmt.Errorf("budget: policy %s re-admitted resident tenant %s",
+						p.Policy.Name(), t.F.Name)
+				}
+				resident[i] = true
+				used += t.C.MetaBytes
+				if used > budget {
+					return Outcome{}, fmt.Errorf("budget: policy %s overflowed the budget (%d > %d bytes) admitting %s",
+						p.Policy.Name(), used, budget, t.F.Name)
+				}
+			}
+		}
+		instrs += float64(t.C.Instrs)
+	}
+	residentIntegral += float64(used) * (p.Duration - lastAt).Seconds()
+
+	out.Invocations = out.Warm + out.Cold
+	out.HitRatio = float64(out.Warm) / float64(out.Invocations)
+	out.MeanCPI = cycles / instrs
+	out.MeanResidentBytes = residentIntegral / p.Duration.Seconds()
+
+	// Each tenant contributes at most two distinct CPI values, so the
+	// invocation-weighted percentiles are exact over ≤2N (value,count) pairs.
+	pairs := make([]cpiWeight, 0, 2*len(tenants))
+	for i, t := range tenants {
+		if coldCount[i] > 0 {
+			pairs = append(pairs, cpiWeight{t.C.ColdCPI, coldCount[i]})
+		}
+		if warmCount[i] > 0 {
+			pairs = append(pairs, cpiWeight{t.C.WarmCPI, warmCount[i]})
+		}
+	}
+	out.P50CPI = weightedPercentile(pairs, 0.50)
+	out.P99CPI = weightedPercentile(pairs, 0.99)
+	return out, nil
+}
+
+type cpiWeight struct {
+	cpi float64
+	n   int
+}
+
+// weightedPercentile returns the smallest CPI value whose cumulative
+// invocation count reaches q of the total (nearest-rank over weights).
+func weightedPercentile(pairs []cpiWeight, q float64) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].cpi < pairs[b].cpi })
+	total := 0
+	for _, p := range pairs {
+		total += p.n
+	}
+	rank := int(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0
+	for _, p := range pairs {
+		cum += p.n
+		if cum >= rank {
+			return p.cpi
+		}
+	}
+	return pairs[len(pairs)-1].cpi
+}
+
+// FrontierPoint is one (policy, budget) cell of the frontier sweep, with
+// speedups relative to the all-cold baseline of the same arrival schedule.
+type FrontierPoint struct {
+	Outcome
+	// MeanSpeedup/P50Speedup/P99Speedup are baselineCPI/thisCPI — >1 means
+	// the policy beat running everything cold.
+	MeanSpeedup float64
+	P50Speedup  float64
+	P99Speedup  float64
+}
+
+// Frontier sweeps policies × budgets over one tenant set and arrival seed.
+// The "none" baseline is computed once (it is budget-independent) and every
+// point's speedups are measured against it. Points are emitted in
+// (policy, budget) order; ctx cancellation aborts between runs.
+func Frontier(ctx context.Context, tenants []Tenant, policies []string, budgets []uint64, p Params) ([]FrontierPoint, error) {
+	base := p
+	base.Policy = NewNone()
+	baseline, err := Run(tenants, base)
+	if err != nil {
+		return nil, fmt.Errorf("budget: baseline: %w", err)
+	}
+
+	var points []FrontierPoint
+	for _, name := range policies {
+		for _, b := range budgets {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pol, err := NewPolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			run := p
+			run.Policy = pol
+			run.BudgetBytes = b
+			o, err := Run(tenants, run)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, FrontierPoint{
+				Outcome:     o,
+				MeanSpeedup: baseline.MeanCPI / o.MeanCPI,
+				P50Speedup:  baseline.P50CPI / o.P50CPI,
+				P99Speedup:  baseline.P99CPI / o.P99CPI,
+			})
+		}
+	}
+	return points, nil
+}

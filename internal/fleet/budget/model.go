@@ -1,0 +1,188 @@
+// Package budget simulates a multi-tenant node whose tenants' recorded
+// Ignite metadata competes for a shared per-node DRAM budget. Each tenant
+// is a sampled population function with an arrival schedule; an invocation
+// whose metadata is resident takes the lukewarm Ignite path, an evicted
+// tenant pays the cold (next-line baseline) path. Pluggable
+// admission/eviction policies decide who stays resident — the
+// performance-vs-DRAM tradeoff SPES (arXiv 2403.17574) optimizes
+// per-function, run fleet-wide.
+package budget
+
+import (
+	"fmt"
+	"math"
+
+	"ignite/internal/cache"
+	"ignite/internal/engine"
+	"ignite/internal/fleet/population"
+	"ignite/internal/ignite"
+	"ignite/internal/lukewarm"
+	"ignite/internal/sim"
+)
+
+// Costs is what the market needs to know about one tenant: the cold and
+// warm per-invocation CPIs, the metadata bytes the tenant holds resident,
+// and the invocation's instruction count (to weight aggregate CPI).
+type Costs struct {
+	// ColdCPI is the interleaved (fully thrashed) CPI under the next-line
+	// baseline — the path an evicted tenant pays.
+	ColdCPI float64
+	// WarmCPI is the interleaved CPI with Ignite replay armed — the
+	// lukewarm path a resident tenant takes.
+	WarmCPI float64
+	// MetaBytes is the recorded Ignite metadata the tenant occupies in
+	// the node's budget while resident (capped at ignite.MaxMetadataBytes).
+	MetaBytes uint64
+	// Instrs is the dynamic instruction count of one invocation.
+	Instrs uint64
+}
+
+// CostModel prices a population function.
+type CostModel interface {
+	Costs(f population.Function) (Costs, error)
+}
+
+// Analytic is the closed-form cost model: a first-order front-end stall
+// model over the function's measured Figure-2 coordinates, using the Table-2
+// core parameters. It exists so thousand-tenant markets price in
+// microseconds; the Simulated model is the ground truth it approximates,
+// and TestAnalyticTracksSimulated keeps the two ordering-consistent.
+type Analytic struct{}
+
+// Analytic model constants. The recovery fractions are first-order fits of
+// the paper's coverage results (Fig. 9): Ignite's replay restores most of
+// the instruction and BTB working set and initializes only the bimodal
+// tables, so conditional-predictor cold misses recover least.
+const (
+	// lineBytes is the cache line size the working sets stream through.
+	lineBytes = 64
+	// overlapFrac discounts the cold fetch stall per line for the
+	// fetch-ahead overlap the front-end achieves even when cold.
+	overlapFrac = 0.35
+	// btbResteerFrac is the fraction of cold BTB entries whose first use
+	// costs a decode resteer.
+	btbResteerFrac = 0.9
+	// initialMispredictFrac is the fraction of branch sites that suffer
+	// an initial misprediction when the predictors are cold (Fig. 6).
+	initialMispredictFrac = 0.45
+	// l1iRecovery/btbRecovery/cbpRecovery are the fractions of each cold
+	// penalty Ignite's replay eliminates at full metadata coverage.
+	l1iRecovery = 0.75
+	btbRecovery = 0.85
+	cbpRecovery = 0.50
+	// bytesPerRecord approximates the compact metadata record size
+	// (~35 bits, paper footnote 6).
+	bytesPerRecord = 4.4
+	// baseCPI is the no-stall issue CPI floor of the 4-wide core.
+	baseCPI = 0.55
+)
+
+// neededMetaBytes is the metadata footprint a full recording of the
+// function's branch working set would take, before the per-function cap.
+func neededMetaBytes(branchSites int) float64 {
+	return 16 + bytesPerRecord*float64(branchSites)
+}
+
+// Costs prices f analytically.
+func (Analytic) Costs(f population.Function) (Costs, error) {
+	if f.TargetInstr == 0 {
+		return Costs{}, fmt.Errorf("budget: %s has a zero instruction budget", f.Name)
+	}
+	ec := engine.DefaultConfig()
+	lat := cache.DefaultLatencies()
+	instrs := float64(f.TargetInstr)
+
+	// Cold per-invocation penalties (cycles), by component.
+	lines := float64(f.CodeKiB) * 1024 / lineBytes
+	sites := float64(f.BranchSites)
+	l1iCold := lines * overlapFrac * float64(lat.Mem)
+	btbCold := sites * btbResteerFrac * float64(ec.DecodeResteerPenalty)
+	cbpCold := sites * initialMispredictFrac * float64(ec.MispredictPenalty)
+
+	// Metadata coverage: a branch working set beyond the 120 KiB cap is
+	// only partially recorded, so replay recovers proportionally less —
+	// the "how low can you go" bound for huge functions.
+	needed := neededMetaBytes(f.BranchSites)
+	meta := math.Min(needed, ignite.MaxMetadataBytes)
+	coverage := meta / needed
+
+	// Warm = cold minus the recovered fractions, plus the replay stream's
+	// own metadata fetch cost (sequential, L2-latency class).
+	warmResidual := l1iCold*(1-l1iRecovery*coverage) +
+		btbCold*(1-btbRecovery*coverage) +
+		cbpCold*(1-cbpRecovery*coverage)
+	replayCost := meta / lineBytes * float64(lat.L2) * 0.5
+
+	// Back-end data stalls, identical on both paths: misses to the cold
+	// fraction of the data footprint, latency partially hidden by the
+	// out-of-order window and overlapped by MLP.
+	d := f.Data
+	foot := float64(d.FootprintBytes)
+	missFrac := (1 - d.HotFrac) * math.Min(0.9, foot/(foot+float64(2<<20))) * (1 - d.StrideFrac)
+	hidden := float64(lat.Mem - d.HideLatency)
+	if hidden < 0 {
+		hidden = 0
+	}
+	dataStall := d.MemOpFrac * missFrac * hidden / math.Max(1, d.MLP)
+	base := baseCPI + dataStall
+
+	return Costs{
+		ColdCPI:   base + (l1iCold+btbCold+cbpCold)/instrs,
+		WarmCPI:   base + (warmResidual+replayCost)/instrs,
+		MetaBytes: uint64(meta),
+		Instrs:    f.TargetInstr,
+	}, nil
+}
+
+// Simulated is the ground-truth cost model: it runs the lukewarm protocol
+// twice per function — interleaved under the next-line baseline (cold) and
+// interleaved with Ignite replay (warm) — and reads the recorded metadata
+// bytes off the Ignite instance. Exact, deterministic, and five orders of
+// magnitude slower than Analytic; use it for small populations, anchors,
+// and tests.
+type Simulated struct {
+	// TargetInstr, when > 0, shrinks every priced function's instruction
+	// budget (the fleet analogue of -target-instr smoke runs).
+	TargetInstr uint64
+	// Checks arms the runtime invariant verifier on both runs.
+	Checks bool
+}
+
+// Costs prices f by simulation.
+func (m Simulated) Costs(f population.Function) (Costs, error) {
+	spec := f.Spec
+	if m.TargetInstr > 0 {
+		spec.TargetInstr = m.TargetInstr
+	}
+	var opts []sim.Option
+	if m.Checks {
+		opts = append(opts, sim.WithChecks())
+	}
+
+	cold, err := sim.New(spec, sim.KindNL, opts...)
+	if err != nil {
+		return Costs{}, fmt.Errorf("budget: %s: %w", f.Name, err)
+	}
+	coldRes, err := cold.Run(lukewarm.Interleaved)
+	if err != nil {
+		return Costs{}, fmt.Errorf("budget: %s (cold): %w", f.Name, err)
+	}
+
+	warm, err := sim.New(spec, sim.KindIgnite, opts...)
+	if err != nil {
+		return Costs{}, fmt.Errorf("budget: %s: %w", f.Name, err)
+	}
+	warmRes, err := warm.Run(lukewarm.Interleaved)
+	if err != nil {
+		return Costs{}, fmt.Errorf("budget: %s (warm): %w", f.Name, err)
+	}
+	if warm.Ignite == nil {
+		return Costs{}, fmt.Errorf("budget: %s: ignite setup has no Ignite instance", f.Name)
+	}
+	return Costs{
+		ColdCPI:   coldRes.CPI(),
+		WarmCPI:   warmRes.CPI(),
+		MetaBytes: uint64(warm.Ignite.MetadataUsed()),
+		Instrs:    spec.TargetInstr,
+	}, nil
+}

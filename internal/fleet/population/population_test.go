@@ -1,0 +1,186 @@
+package population_test
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ignite/internal/fleet/population"
+	"ignite/internal/workload"
+)
+
+// TestSamplerDeterminism pins the sampler's core contract: the same seed
+// produces byte-identical populations, including when many samplers run
+// concurrently under maximum parallelism (the sampler is a single serial
+// PCG pass, so GOMAXPROCS and surrounding scheduler width must not leak in).
+func TestSamplerDeterminism(t *testing.T) {
+	p := population.Params{Seed: 42, N: 500}
+	ref, err := population.Sample(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const concurrent = 8
+	results := make([][]byte, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fns, err := population.Sample(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := json.Marshal(fns)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range results {
+		if string(b) != string(refBytes) {
+			t.Fatalf("concurrent sample %d differs from the reference population (GOMAXPROCS=%d)",
+				i, runtime.GOMAXPROCS(0))
+		}
+	}
+
+	// A different seed must actually change the population.
+	other, err := population.Sample(population.Params{Seed: 43, N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, _ := json.Marshal(other)
+	if string(ob) == string(refBytes) {
+		t.Fatal("seed 42 and 43 produced identical populations")
+	}
+}
+
+// TestStandardFlavorWithinFig2Bounds checks the marginal-distribution
+// sanity the sampler promises: every standard-flavor function's measured
+// working sets lie inside the paper's Figure-2 characterization bounds,
+// tiny functions lie below the floor, and huge functions above the ceiling.
+func TestStandardFlavorWithinFig2Bounds(t *testing.T) {
+	fns, err := population.Sample(population.Params{Seed: 7, N: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fns {
+		switch f.Flavor {
+		case population.Standard:
+			if f.CodeKiB < workload.Fig2MinCodeKiB || f.CodeKiB > workload.Fig2MaxCodeKiB {
+				t.Fatalf("%s: standard code WS %d KiB outside Fig.2 bounds [%d,%d]",
+					f.Name, f.CodeKiB, workload.Fig2MinCodeKiB, workload.Fig2MaxCodeKiB)
+			}
+			if f.BranchSites < workload.Fig2MinBTBEntries || f.BranchSites > workload.Fig2MaxBTBEntries {
+				t.Fatalf("%s: standard branch WS %d outside Fig.2 bounds [%d,%d]",
+					f.Name, f.BranchSites, workload.Fig2MinBTBEntries, workload.Fig2MaxBTBEntries)
+			}
+		case population.Tiny:
+			if f.CodeKiB >= workload.Fig2MinCodeKiB {
+				t.Fatalf("%s: tiny function has %d KiB code WS, want < %d",
+					f.Name, f.CodeKiB, workload.Fig2MinCodeKiB)
+			}
+		case population.Huge:
+			if f.CodeKiB <= workload.Fig2MaxCodeKiB {
+				t.Fatalf("%s: huge function has %d KiB code WS, want > %d",
+					f.Name, f.CodeKiB, workload.Fig2MaxCodeKiB)
+			}
+			if f.BranchSites <= workload.Fig2MaxBTBEntries {
+				t.Fatalf("%s: huge function has %d branch sites, want > %d",
+					f.Name, f.BranchSites, workload.Fig2MaxBTBEntries)
+			}
+		case population.Chain:
+			if f.Stages < 2 || f.Stages > 4 {
+				t.Fatalf("%s: chain has %d stages, want 2-4", f.Name, f.Stages)
+			}
+		}
+		if f.RatePerSec <= 0 {
+			t.Fatalf("%s: non-positive arrival rate %g", f.Name, f.RatePerSec)
+		}
+		if f.TargetInstr == 0 {
+			t.Fatalf("%s: zero instruction budget", f.Name)
+		}
+	}
+}
+
+// TestFlavorMixAndNames checks the flavor composition tracks the requested
+// mix and that names are unique and distinct from the Table-1 catalog.
+func TestFlavorMixAndNames(t *testing.T) {
+	const n = 4000
+	fns, err := population.Sample(population.Params{Seed: 99, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[population.Flavor]int{}
+	seen := map[string]bool{}
+	for _, f := range fns {
+		counts[f.Flavor]++
+		if seen[f.Name] {
+			t.Fatalf("duplicate function name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if _, err := workload.ByName(f.Name); err == nil {
+			t.Fatalf("sampled name %q collides with the Table-1 catalog", f.Name)
+		}
+	}
+	mix := population.DefaultMix()
+	for flavor, want := range map[population.Flavor]float64{
+		population.Standard: mix.Standard,
+		population.Tiny:     mix.Tiny,
+		population.Huge:     mix.Huge,
+		population.Chain:    mix.Chain,
+	} {
+		got := float64(counts[flavor]) / n
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("flavor %s: got fraction %.3f, want %.2f±0.03", flavor, got, want)
+		}
+	}
+}
+
+// TestSampledSpecsBuild proves sampled specs are real workloads: a function
+// of each flavor generates a program through the same generator path the
+// Table-1 catalog uses.
+func TestSampledSpecsBuild(t *testing.T) {
+	fns, err := population.Sample(population.Params{Seed: 3, N: 200, TargetInstr: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := map[population.Flavor]bool{}
+	for _, f := range fns {
+		if built[f.Flavor] {
+			continue
+		}
+		built[f.Flavor] = true
+		if _, _, err := f.Build(); err != nil {
+			t.Fatalf("%s (%s): %v", f.Name, f.Flavor, err)
+		}
+	}
+	if len(built) != 4 {
+		t.Fatalf("population of 200 only contained %d flavors", len(built))
+	}
+}
+
+// TestParamValidation exercises the error paths.
+func TestParamValidation(t *testing.T) {
+	if _, err := population.Sample(population.Params{Seed: 1, N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := population.Sample(population.Params{Seed: 1, N: 10, Mix: population.Mix{Standard: -1}}); err == nil {
+		t.Error("negative mix accepted")
+	}
+	if _, err := population.Sample(population.Params{Seed: 1, N: 10, RateScale: -2}); err == nil {
+		t.Error("negative rate scale accepted")
+	}
+	if _, err := population.ByName(nil, "nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"ignite/internal/fleet/population"
+)
+
+// TestServePopulation covers the -population catalog mode end to end: a
+// server mounted with a sampled fleet population lists the sampled names in
+// its catalog and serves /v1/invoke for them through the same cell path as
+// the Table-1 functions.
+func TestServePopulation(t *testing.T) {
+	fns, err := population.Sample(population.Params{Seed: 42, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startTestServer(t, Config{Population: population.Specs(fns)})
+	addr := s.Addr()
+
+	// Catalog: Table 1 first, then every sampled name in mount order.
+	resp, err := http.Get("http://" + addr + PathCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat CatalogResponse
+	if err := json.Unmarshal(data, &cat); err != nil {
+		t.Fatalf("decode catalog: %v", err)
+	}
+	listed := make(map[string]bool, len(cat.Functions))
+	for _, name := range cat.Functions {
+		listed[name] = true
+	}
+	if !listed["Auth-G"] {
+		t.Error("catalog lost the Table-1 functions")
+	}
+	for _, f := range fns {
+		if !listed[f.Name] {
+			t.Errorf("catalog missing sampled function %s", f.Name)
+		}
+	}
+
+	// Invoke a sampled function under the ignite config; the response must
+	// come from a real simulated cell.
+	name := fns[0].Name
+	body := fmt.Sprintf(`{"schemaVersion":1,"function":%q,"config":"ignite"}`, name)
+	hresp, hdata := postInvoke(t, addr, body)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke %s: status %d: %s", name, hresp.StatusCode, hdata)
+	}
+	var ir InvokeResponse
+	if err := json.Unmarshal(hdata, &ir); err != nil {
+		t.Fatalf("decode invoke: %v", err)
+	}
+	if ir.Function != name {
+		t.Errorf("response function = %q, want %q", ir.Function, name)
+	}
+	if ir.Result.CPI <= 0 || ir.Result.Instrs == 0 {
+		t.Errorf("degenerate result for %s: %+v", name, ir.Result)
+	}
+
+	// A name outside both catalogs still 404s.
+	eresp, edata := postInvoke(t, addr,
+		`{"schemaVersion":1,"function":"Zzz9999-G","config":"ignite"}`)
+	if eresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown function: status %d: %s", eresp.StatusCode, edata)
+	}
+}

@@ -42,6 +42,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer observes fresh cell simulations (nil = none).
 	Tracer obs.Tracer
+	// Population adds extra servable functions beyond the Table-1 catalog —
+	// ignite-serve -population mounts a sampled fleet population here. The
+	// Table-1 catalog wins name clashes (sampled names are prefixed, so
+	// clashes cannot happen in practice), and the TargetInstr override
+	// applies to population cells the same way.
+	Population []workload.Spec
 
 	// Batching/admission knobs (zero = defaults; see batcher.go).
 	MaxBatch int
@@ -76,6 +82,11 @@ type Server struct {
 	// Distinct spellings of the same cell simply occupy two entries; both
 	// point at the one cached cell underneath.
 	respCache sync.Map
+
+	// popByName/popNames index Config.Population for resolution and the
+	// catalog listing (names in mount order, after the Table-1 catalog).
+	popByName map[string]workload.Spec
+	popNames  []string
 
 	listener net.Listener
 	http     *http.Server
@@ -119,6 +130,17 @@ func NewServer(cfg Config) *Server {
 		}, reg),
 		start:  time.Now(),
 		served: make(chan error, 1),
+	}
+	s.popByName = make(map[string]workload.Spec, len(cfg.Population))
+	for _, spec := range cfg.Population {
+		if _, err := workload.ByName(spec.Name); err == nil {
+			continue // Table-1 wins name clashes
+		}
+		if _, dup := s.popByName[spec.Name]; dup {
+			continue
+		}
+		s.popByName[spec.Name] = spec
+		s.popNames = append(s.popNames, spec.Name)
 	}
 	l := obs.L("component", "serve")
 	s.mRequests = reg.Counter("serve.requests", l)
@@ -276,7 +298,11 @@ func (s *Server) resolve(req InvokeRequest) (experiments.CellSpec, *ErrorEnvelop
 	var spec experiments.CellSpec
 	wl, err := workload.ByName(req.Function)
 	if err != nil {
-		return spec, envelope(CodeUnknownFunction, "%v", err)
+		pop, ok := s.popByName[req.Function]
+		if !ok {
+			return spec, envelope(CodeUnknownFunction, "%v", err)
+		}
+		wl = pop
 	}
 	if s.cfg.TargetInstr > 0 {
 		wl.TargetInstr = s.cfg.TargetInstr
@@ -304,7 +330,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, CatalogResponse{
 		SchemaVersion: SchemaVersion,
-		Functions:     workload.Names(),
+		Functions:     append(workload.Names(), s.popNames...),
 		Configs:       configs,
 		Modes:         []string{"interleaved", "back-to-back"},
 	})

@@ -176,6 +176,43 @@ func data(footprintKiB int, memOpFrac, hotFrac, strideFrac float64) engine.DataC
 	return d
 }
 
+// Figure 2 characterization bounds of the paper's 20 functions: the
+// per-invocation instruction working sets span 240-620 KiB and the branch
+// working sets 5.4K-14K BTB entries. The fleet population sampler draws its
+// standard-flavor functions inside these bounds; its tiny/huge flavors
+// deliberately step outside them.
+const (
+	Fig2MinCodeKiB    = 240
+	Fig2MaxCodeKiB    = 620
+	Fig2MinBTBEntries = 5400
+	Fig2MaxBTBEntries = 14000
+)
+
+// New assembles a Spec in the paper's measured Figure-2 coordinates:
+// codeKiB and branchSites are the desired per-invocation instruction and
+// branch working sets, mapped through the per-runtime calibration
+// multipliers onto generator inputs exactly as the Table-1 catalog is. This
+// is the constructor the fleet population sampler builds synthetic
+// functions with, so a sampled function is calibrated identically to a
+// catalog one.
+func New(name, fullName string, l Lang, seed uint64, codeKiB, branchSites int,
+	targetInstr uint64, data engine.DataConfig) Spec {
+	return spec(name, fullName, l, seed, codeKiB, branchSites, targetInstr, data)
+}
+
+// DataProfile builds a data-side access profile from a footprint and the
+// three mix knobs, with the engine's defaults for everything else.
+func DataProfile(footprintKiB int, memOpFrac, hotFrac, strideFrac float64) engine.DataConfig {
+	return data(footprintKiB, memOpFrac, hotFrac, strideFrac)
+}
+
+// Fig2Coords returns the measured-working-set coordinates the spec was
+// calibrated from — the inverse of the calibration multipliers New applies.
+func (s Spec) Fig2Coords() (codeKiB, branchSites int) {
+	return int(float64(s.Gen.CodeKiB)/codeCalib[s.Lang] + 0.5),
+		int(float64(s.Gen.BranchSites)/siteCalib[s.Lang] + 0.5)
+}
+
 // All returns the 20 functions of Table 1 in the order the paper's figures
 // plot them (Python, NodeJS, Go).
 func All() []Spec {

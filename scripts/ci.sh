@@ -102,6 +102,27 @@ go test -race -run 'TestServerIntegration|TestBatcher|TestInstrumentsConcurrentS
   grep -q 'drained' serve.log
 )
 
+# Fleet smoke: the population sampler and metadata-budget market end to end
+# — a small sampled population swept under two policies, exported as a
+# versioned document, byte-identical across two runs (the fleet contract:
+# same seed, same bytes). The named -race pass keeps the fleet packages'
+# concurrency story (parallel-independent sampling) visible on its own.
+go build -o "$smoke/ignite-fleet" ./cmd/ignite-fleet
+go test -race -run 'TestSamplerDeterminism|TestMarketDeterminism|TestFleetFrontierParallelIndependence' \
+  ./internal/fleet/... ./internal/experiments
+(
+  cd "$smoke"
+  ./ignite-fleet -n 200 -duration 10s -policies lru,topk -budgets 2,8 \
+    -out fleet-a >/dev/null
+  ./ignite-fleet -n 200 -duration 10s -policies lru,topk -budgets 2,8 \
+    -out fleet-b >/dev/null
+  test -s fleet-a/fleet-frontier.json
+  grep -q '"kind": "ignite.experiment-result"' fleet-a/fleet-frontier.json
+  diff fleet-a/fleet-frontier.json fleet-b/fleet-frontier.json
+  python3 "$OLDPWD/scripts/fleet_frontier.py" fleet-a/fleet-frontier.json >fleet.tsv
+  test -s fleet.tsv
+)
+
 # Resume smoke: a journaled run, then a second run resumed from that journal
 # into a different output dir — the exported documents must match except for
 # the generation timestamp.
@@ -117,4 +138,4 @@ go test -race -run 'TestServerIntegration|TestBatcher|TestInstrumentsConcurrentS
        <(grep -v '"generated"' resume-b/fig1.json)
 )
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, resume)"
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, fleet smoke, resume)"

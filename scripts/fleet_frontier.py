@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Render the fleet-frontier figure: aggregate CPI speedup vs per-node
+metadata budget, one series per admission policy.
+
+Reads the versioned document ignite-fleet exports:
+
+    ignite-fleet -out results/
+    scripts/fleet_frontier.py results/fleet-frontier.json
+
+Always emits a TSV of the plotted series (budget MiB, then one
+mean/p50/p99 speedup triple per policy) to stdout or -o. When matplotlib
+is importable, also writes <out>.png; the TSV is the canonical artifact so
+the figure works on matplotlib-less CI boxes.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "ignite.experiment-result" or doc.get("id") != "fleet-frontier":
+        sys.exit(f"{path}: not a fleet-frontier result document")
+    # Rows are keyed "policy/<n>MiB"; values carry the numeric budget too.
+    series = defaultdict(dict)  # policy -> budget bytes -> row
+    for key, row in doc["values"].items():
+        policy = key.split("/", 1)[0]
+        series[policy][int(row["budgetBytes"])] = row
+    return series
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("document", help="fleet-frontier.json from ignite-fleet -out")
+    ap.add_argument("-o", "--out", help="TSV output path (default stdout); PNG lands next to it")
+    args = ap.parse_args()
+
+    series = load_series(args.document)
+    policies = sorted(series)
+    budgets = sorted({b for rows in series.values() for b in rows})
+
+    header = ["budget_mib"]
+    for p in policies:
+        header += [f"{p}_mean", f"{p}_p50", f"{p}_p99"]
+    lines = ["\t".join(header)]
+    for b in budgets:
+        cells = [f"{b / (1 << 20):g}"]
+        for p in policies:
+            row = series[p].get(b)
+            if row is None:
+                cells += ["", "", ""]
+            else:
+                cells += [f"{row['meanSpeedup']:.4f}",
+                          f"{row['p50Speedup']:.4f}",
+                          f"{row['p99Speedup']:.4f}"]
+        lines.append("\t".join(cells))
+    tsv = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(tsv)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(tsv)
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; TSV only", file=sys.stderr)
+        return
+
+    fig, axes = plt.subplots(1, 2, figsize=(9, 3.6), sharex=True)
+    for metric, ax in zip(("meanSpeedup", "p99Speedup"), axes):
+        for p in policies:
+            xs = [b / (1 << 20) for b in budgets if b in series[p]]
+            ys = [series[p][b][metric] for b in budgets if b in series[p]]
+            ax.plot(xs, ys, marker="o", label=p)
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel("metadata budget (MiB)")
+        ax.set_ylabel({"meanSpeedup": "mean CPI speedup",
+                       "p99Speedup": "p99 CPI speedup"}[metric])
+        ax.axhline(1.0, color="gray", lw=0.5)
+        ax.grid(True, alpha=0.3)
+    axes[0].legend(fontsize=8)
+    fig.suptitle("Fleet: CPI speedup vs per-node metadata budget")
+    fig.tight_layout()
+    png = (args.out or "fleet_frontier.tsv").rsplit(".", 1)[0] + ".png"
+    fig.savefig(png, dpi=150)
+    print(f"wrote {png}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
