@@ -37,10 +37,23 @@ import (
 	"time"
 
 	"ignite/internal/cfgcli"
+	"ignite/internal/dist"
 	"ignite/internal/experiments"
 	"ignite/internal/obs"
+	"ignite/internal/store"
 	"ignite/internal/workload"
 )
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // expReport is the per-experiment entry of BENCH.json.
 type expReport struct {
@@ -83,6 +96,11 @@ func main() {
 	cf.BindJournal(flag.CommandLine)
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs or 'all' (ids: "+idList()+")")
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
+	workerFlag := flag.Bool("worker", false, "run as a distributed-sweep worker: serve cell tasks on -listen until interrupted")
+	listenFlag := flag.String("listen", "127.0.0.1:0", "worker listen address (with -worker; :0 picks a free port and prints it)")
+	workersFlag := flag.Int("workers", 0, "spawn N local worker processes and distribute cells across them")
+	workerAddrsFlag := flag.String("worker-addrs", "", "comma-separated addresses of already-running workers (alternative to -workers)")
+	storeFlag := flag.String("store", "", "directory of the persistent content-addressed cell store (created if missing)")
 	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
 	benchoutFlag := flag.String("benchout", "", "write the benchmark report to this path (convention: BENCH_<n>.json, a committed trajectory of benchmark runs)")
 	noteFlag := flag.String("benchnote", "", "free-form annotation embedded in the benchmark report (e.g. before/after hot-path numbers)")
@@ -93,6 +111,15 @@ func main() {
 
 	ctx, stop := cfgcli.SignalContext()
 	defer stop()
+
+	if *workerFlag {
+		// Worker mode: no experiment selection, no documents — just serve
+		// cell tasks until the coordinator (or the terminal) interrupts us.
+		if err := dist.RunWorker(ctx, *listenFlag); err != nil {
+			cfgcli.Exit("ignite-bench", ctx, err)
+		}
+		return
+	}
 
 	if *listFlag {
 		fmt.Println("experiments:")
@@ -121,6 +148,49 @@ func main() {
 		cfgcli.Exit("ignite-bench", nil, err)
 	}
 	defer closeJournal()
+
+	// Persistent content-addressed cell store: warm records serve as pure
+	// I/O, fresh cells are persisted, and the set is sealed under a Merkle
+	// manifest on exit so the next run can prove nothing rotted in between.
+	var cellStore *store.Store
+	var storeStats *experiments.StoreStats
+	if *storeFlag != "" {
+		cellStore, err = store.Open(*storeFlag)
+		if err != nil {
+			cfgcli.Exit("ignite-bench", nil, err)
+		}
+		if merr := cellStore.ManifestErr(); merr != nil {
+			fmt.Fprintf(os.Stderr, "ignite-bench: %v (store records will be recomputed and resealed)\n", merr)
+		}
+		storeStats = &experiments.StoreStats{}
+		experiments.BindStore(opt.Cache, cellStore, storeStats)
+	}
+
+	// Distributed sweep: shard fresh cells across worker processes. Cells
+	// already in the store never reach the wire — the backing is consulted
+	// first — so a warm rerun with -workers is pure local I/O.
+	var coord *dist.Coordinator
+	if *workersFlag > 0 || *workerAddrsFlag != "" {
+		addrs := splitList(*workerAddrsFlag)
+		if *workersFlag > 0 && len(addrs) > 0 {
+			cfgcli.Exit("ignite-bench", nil, cfgcli.Usage("ignite-bench: -workers and -worker-addrs are mutually exclusive"))
+		}
+		if len(addrs) == 0 {
+			fleet, err := dist.SpawnWorkers(*workersFlag)
+			if err != nil {
+				cfgcli.Exit("ignite-bench", nil, err)
+			}
+			defer fleet.Close()
+			addrs = fleet.Addrs
+			fmt.Fprintf(os.Stderr, "spawned %d worker(s): %s\n", len(addrs), strings.Join(addrs, " "))
+		}
+		coord, err = dist.NewCoordinator(dist.CoordinatorOptions{Addrs: addrs})
+		if err != nil {
+			cfgcli.Exit("ignite-bench", nil, err)
+		}
+		defer coord.Close()
+		opt.Cache.SetRemote(coord.Remote())
+	}
 
 	var ids []experiments.ID
 	if *expFlag == "all" {
@@ -207,6 +277,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d cells (%d cache hits)\n", cells, hits)
 	}
 	printHealth(opt.Health)
+	if coord != nil {
+		tasks, steals, failovers := coord.Stats()
+		fmt.Fprintf(os.Stderr, "dist: %d task(s) completed remotely, %d steal(s), %d failover(s)\n",
+			tasks, steals, failovers)
+	}
+	if cellStore != nil {
+		fmt.Fprintf(os.Stderr, "store: %d hit(s), %d miss(es), %d save(s), %d corruption(s) detected\n",
+			storeStats.Hits.Value(), storeStats.Misses.Value(),
+			storeStats.Saves.Value(), storeStats.Corrupt.Value())
+		if root, n, err := cellStore.Seal(); err != nil {
+			fmt.Fprintf(os.Stderr, "ignite-bench: seal store: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "store: sealed %d record(s), merkle root %s\n", n, root)
+		}
+	}
 
 	if *outFlag != "" {
 		man := opt.Manifest()

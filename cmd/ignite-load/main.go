@@ -50,6 +50,7 @@ func main() {
 	primeRPSFlag := flag.Float64("prime-rps", 2000, "prime-phase Poisson rate at the cold cell (0 disables priming)")
 	primeDurFlag := flag.Duration("prime-duration", 250*time.Millisecond, "prime-phase duration")
 	timeoutFlag := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	retriesFlag := flag.Int("retries", 0, "max retries per shed (429) request, honoring the server's Retry-After")
 	outFlag := flag.String("out", "", "write the JSON load report to this path")
 	strictFlag := flag.Bool("strict", false, "exit 1 if any measured request failed (CI smoke)")
 	flag.Parse()
@@ -98,11 +99,12 @@ func main() {
 
 	schedule := loadgen.Schedule(proc, *rpsFlag, *durFlag, *seedFlag)
 	stats, err := loadgen.Run(ctx, loadgen.RunConfig{
-		URL:      invokeURL,
-		Body:     body,
-		Schedule: schedule,
-		Senders:  *sendersFlag,
-		Timeout:  *timeoutFlag,
+		URL:         invokeURL,
+		Body:        body,
+		Schedule:    schedule,
+		Senders:     *sendersFlag,
+		Timeout:     *timeoutFlag,
+		ShedRetries: *retriesFlag,
 	})
 	if err != nil {
 		cfgcli.Exit("ignite-load", ctx, err)
@@ -120,6 +122,7 @@ func main() {
 		Sent:        stats.Sent,
 		OK:          stats.OK,
 		Errors:      stats.Errors,
+		Retries:     stats.Retries,
 		StatusCount: stats.StatusCount,
 		AchievedRPS: stats.AchievedRPS(),
 		Latency:     loadgen.SummaryFrom(stats.Latency),
@@ -189,7 +192,7 @@ func printSummary(r loadgen.Report) {
 	fmt.Printf("%s / %s / %s — %s arrivals at %.0f req/s for %.1fs (seed %d)\n",
 		r.Function, r.Config, r.Mode, r.Process, r.TargetRPS, r.DurationSec, r.Seed)
 	fmt.Printf("  scheduled      %d\n", r.Scheduled)
-	fmt.Printf("  sent           %d (%d ok, %d failed)\n", r.Sent, r.OK, r.Errors)
+	fmt.Printf("  sent           %d (%d ok, %d failed, %d retried)\n", r.Sent, r.OK, r.Errors, r.Retries)
 	fmt.Printf("  achieved       %.0f req/s\n", r.AchievedRPS)
 	fmt.Printf("  latency (ms)   p50 %.3f   p99 %.3f   p999 %.3f   max %.3f\n",
 		r.Latency.P50Ms, r.Latency.P99Ms, r.Latency.P999Ms, r.Latency.MaxMs)

@@ -135,7 +135,7 @@ func runAll(ctx context.Context, ao allOptions) {
 		fatalCode(2, errors.New("ignite-sim: -resume needs a journal (-journal or -out)"))
 	}
 	if journalPath != "" {
-		j, err := experiments.OpenJournal(journalPath)
+		j, err := experiments.OpenJournal(journalPath, opt.Fingerprint())
 		if err != nil {
 			fatal(err)
 		}

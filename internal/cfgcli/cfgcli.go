@@ -179,7 +179,7 @@ func (f *Flags) AttachJournal(opt *experiments.Options, outDir string) (func(), 
 	if path == "" {
 		return func() {}, nil
 	}
-	j, err := experiments.OpenJournal(path)
+	j, err := experiments.OpenJournal(path, opt.Fingerprint())
 	if err != nil {
 		return nil, err
 	}

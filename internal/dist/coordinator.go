@@ -1,0 +1,485 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"ignite/internal/experiments"
+	"ignite/internal/obs"
+)
+
+// CoordinatorOptions configures a coordinator.
+type CoordinatorOptions struct {
+	// Addrs are the worker addresses (host:port). Required, non-empty.
+	Addrs []string
+	// Slots bounds concurrent in-flight tasks per worker (default 4). The
+	// experiment scheduler above already bounds total in-flight cells at
+	// Options.Parallel; slots shape how that budget spreads across the
+	// fleet.
+	Slots int
+	// Client is the HTTP client for task calls (default: no client-side
+	// timeout — cells are seconds of CPU and the per-attempt deadline is
+	// the scheduler's CellTimeout, carried by the request context).
+	Client *http.Client
+}
+
+// task is one queued cell: the wire request plus the channel its waiting
+// RemoteFunc call blocks on. tried marks workers that have failed it, so
+// each worker attempts a task at most once per coordinator round — a dead
+// worker's runners cannot burn a task's failover budget by re-stealing it.
+type task struct {
+	ctx   context.Context
+	req   TaskRequest
+	home  int
+	tried []bool
+	done  chan taskResult
+}
+
+type taskResult struct {
+	payload experiments.CellPayload
+	err     error
+}
+
+func (t *task) finish(p experiments.CellPayload, err error) {
+	t.done <- taskResult{payload: p, err: err} // buffered; never blocks
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	addr    string
+	healthy *obs.Gauge
+	tasks   *obs.Counter
+}
+
+// Coordinator shards cells across a worker fleet. Each worker owns a FIFO
+// queue; a cell's home queue is its key hash modulo fleet size, so a rerun
+// of the same sweep lands each cell on the same worker and that worker's
+// in-process cache serves repeats. Runner goroutines (Slots per worker)
+// drain their own queue first and steal from the longest other queue when
+// idle — a straggler workload queues behind nothing. A failed attempt
+// requeues the task on the next worker until every worker has had a try,
+// then surfaces a transient *WorkerError for the experiment scheduler's
+// retry machinery.
+type Coordinator struct {
+	opts    CoordinatorOptions
+	workers []*workerState
+	client  *http.Client
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues [][]*task
+	closed bool
+	wg     sync.WaitGroup
+
+	mTasks     obs.Counter
+	mSteals    obs.Counter
+	mFailovers obs.Counter
+	mFailures  obs.Counter
+}
+
+// NewCoordinator starts a coordinator over the given workers and its
+// runner goroutines. Close releases them.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, fmt.Errorf("dist: coordinator needs at least one worker address")
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = 4
+	}
+	c := &Coordinator{
+		opts:   opts,
+		client: opts.Client,
+		queues: make([][]*task, len(opts.Addrs)),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, addr := range opts.Addrs {
+		c.workers = append(c.workers, &workerState{
+			addr:    addr,
+			healthy: &obs.Gauge{},
+			tasks:   &obs.Counter{},
+		})
+	}
+	for i := range c.workers {
+		c.workers[i].healthy.Set(1)
+		for s := 0; s < opts.Slots; s++ {
+			c.wg.Add(1)
+			go c.runner(i)
+		}
+	}
+	return c, nil
+}
+
+// RegisterMetrics exports the coordinator's counters and per-worker health
+// gauges on reg.
+func (c *Coordinator) RegisterMetrics(reg *obs.Registry) {
+	l := obs.L("component", "dist")
+	reg.CounterFunc("dist.tasks", l, c.mTasks.Value)
+	reg.CounterFunc("dist.steals", l, c.mSteals.Value)
+	reg.CounterFunc("dist.failovers", l, c.mFailovers.Value)
+	reg.CounterFunc("dist.worker_failures", l, c.mFailures.Value)
+	for _, w := range c.workers {
+		wl := obs.L("component", "dist", "worker", w.addr)
+		reg.GaugeFunc("dist.worker_health", wl, w.healthy.Value)
+		reg.CounterFunc("dist.worker_tasks", wl, w.tasks.Value)
+	}
+}
+
+// Stats returns the coordinator's dispatch totals (tasks completed, queue
+// steals, failovers).
+func (c *Coordinator) Stats() (tasks, steals, failovers uint64) {
+	return c.mTasks.Value(), c.mSteals.Value(), c.mFailovers.Value()
+}
+
+// Close stops the runners. Queued tasks fail with a closed error; callers
+// should Close only after the sweep's scheduler has drained.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var orphans []*task
+	for i, q := range c.queues {
+		orphans = append(orphans, q...)
+		c.queues[i] = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, t := range orphans {
+		t.finish(experiments.CellPayload{}, fmt.Errorf("dist: coordinator closed"))
+	}
+	c.wg.Wait()
+}
+
+// home shards a cell key onto a worker index.
+func (c *Coordinator) home(key string) int {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return int(h.Sum32()) % len(c.workers)
+}
+
+// Remote returns the RemoteFunc to install on the sweep's cell cache
+// (experiments.CellCache.SetRemote): each call ships one cell to the fleet
+// and blocks until it is computed, fails permanently, or ctx ends.
+func (c *Coordinator) Remote() experiments.RemoteFunc {
+	return func(ctx context.Context, cs experiments.CellSpec, env experiments.CellEnv) (experiments.CellPayload, error) {
+		req := TaskRequest{
+			SchemaVersion: SchemaVersion,
+			Key:           cs.Key(),
+			Workload:      cs.Workload,
+			Config:        cs.Config,
+			Tweaks:        cs.Tweaks,
+			Mode:          cs.Mode,
+			Checks:        env.Checks,
+			MaxCycles:     env.MaxCycles,
+		}
+		t := &task{
+			ctx:   ctx,
+			req:   req,
+			home:  c.home(req.Key),
+			tried: make([]bool, len(c.workers)),
+			done:  make(chan taskResult, 1),
+		}
+		if err := c.enqueue(t, t.home); err != nil {
+			return experiments.CellPayload{}, err
+		}
+		select {
+		case r := <-t.done:
+			return r.payload, r.err
+		case <-ctx.Done():
+			// The runner may still execute the task; its finish lands in the
+			// buffered channel and is garbage collected with it.
+			return experiments.CellPayload{}, ctx.Err()
+		}
+	}
+}
+
+func (c *Coordinator) enqueue(t *task, worker int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("dist: coordinator closed")
+	}
+	c.queues[worker] = append(c.queues[worker], t)
+	// Broadcast, not Signal: the task may be runnable only by workers that
+	// have not tried it yet, and a single wakeup could land on one that has.
+	c.cond.Broadcast()
+	return nil
+}
+
+// next blocks until worker i has a runnable task — one i has not already
+// failed: the head of its own queue first, then (stealing) the tail of the
+// longest other queue. Returns nil when the coordinator closes.
+func (c *Coordinator) next(i int) (t *task, stolen bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, false
+		}
+		if t := takeFrom(&c.queues[i], i, false); t != nil {
+			return t, false
+		}
+		victim, best := -1, 0
+		for j, q := range c.queues {
+			if j != i && len(q) > best {
+				victim, best = j, len(q)
+			}
+		}
+		if victim >= 0 {
+			if t := takeFrom(&c.queues[victim], i, true); t != nil {
+				return t, true
+			}
+			// The longest queue held nothing runnable by i (failover
+			// leftovers); scan the rest before sleeping.
+			for j := range c.queues {
+				if j == i || j == victim {
+					continue
+				}
+				if t := takeFrom(&c.queues[j], i, true); t != nil {
+					return t, true
+				}
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// takeFrom removes and returns the first task in q runnable by worker i —
+// scanning from the head for i's own queue, from the tail (the coldest
+// task, leaving the victim its head) when stealing. Nil if none qualify.
+func takeFrom(q *[]*task, i int, fromTail bool) *task {
+	s := *q
+	for n := range s {
+		idx := n
+		if fromTail {
+			idx = len(s) - 1 - n
+		}
+		if t := s[idx]; !t.tried[i] {
+			*q = append(s[:idx:idx], s[idx+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) runner(i int) {
+	defer c.wg.Done()
+	w := c.workers[i]
+	for {
+		t, stolen := c.next(i)
+		if t == nil {
+			return
+		}
+		if t.ctx != nil && t.ctx.Err() != nil {
+			t.finish(experiments.CellPayload{}, t.ctx.Err())
+			continue
+		}
+		if stolen {
+			c.mSteals.Inc()
+		}
+		payload, err := c.call(t, w)
+		if err == nil {
+			w.healthy.Set(1)
+			w.tasks.Inc()
+			c.mTasks.Inc()
+			t.finish(payload, nil)
+			continue
+		}
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			// Permanent protocol error (bad request, key mismatch): the cell
+			// is wrong, not the worker. Fail it without burning the fleet.
+			t.finish(experiments.CellPayload{}, err)
+			continue
+		}
+		w.healthy.Set(0)
+		c.mFailures.Inc()
+		t.tried[i] = true
+		if next := c.pickUntried(t); next >= 0 {
+			// Failover: hand the task to an untried worker (healthy ones
+			// first). Its runner — or a steal — picks it up.
+			c.mFailovers.Inc()
+			if qerr := c.enqueue(t, next); qerr == nil {
+				continue
+			}
+		}
+		// Every worker had its chance (or the coordinator is closing):
+		// surface the transient error and let the scheduler's capped
+		// backoff decide whether the fleet deserves another round.
+		t.finish(experiments.CellPayload{}, err)
+	}
+}
+
+// pickUntried returns a worker that has not failed t yet, preferring ones
+// currently marked healthy; -1 when the whole fleet has tried it.
+func (c *Coordinator) pickUntried(t *task) int {
+	fallback := -1
+	for j, w := range c.workers {
+		if t.tried[j] {
+			continue
+		}
+		if w.healthy.Value() > 0 {
+			return j
+		}
+		if fallback < 0 {
+			fallback = j
+		}
+	}
+	return fallback
+}
+
+// call runs one task on one worker. Connection failures, retryable
+// envelopes and damaged payloads come back as transient *WorkerError;
+// permanent envelopes (the request itself is wrong) come back bare.
+func (c *Coordinator) call(t *task, w *workerState) (experiments.CellPayload, error) {
+	body, err := json.Marshal(t.req)
+	if err != nil {
+		return experiments.CellPayload{}, fmt.Errorf("dist: encode task: %w", err)
+	}
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+w.addr+PathTask, bytes.NewReader(body))
+	if err != nil {
+		return experiments.CellPayload{}, fmt.Errorf("dist: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return experiments.CellPayload{}, ctx.Err()
+		}
+		return experiments.CellPayload{}, &WorkerError{Worker: w.addr, Err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return experiments.CellPayload{}, &WorkerError{Worker: w.addr, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env ErrorEnvelope
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Code != "" {
+			if env.Retryable {
+				return experiments.CellPayload{}, &WorkerError{Worker: w.addr, Err: &env}
+			}
+			return experiments.CellPayload{}, &env
+		}
+		return experiments.CellPayload{}, &WorkerError{
+			Worker: w.addr, Err: fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(data)),
+		}
+	}
+	var tr TaskResponse
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return experiments.CellPayload{}, &WorkerError{Worker: w.addr, Err: fmt.Errorf("decode response: %w", err)}
+	}
+	if tr.SchemaVersion != SchemaVersion {
+		return experiments.CellPayload{}, fmt.Errorf("dist: worker %s answered schema %d, this coordinator speaks %d",
+			w.addr, tr.SchemaVersion, SchemaVersion)
+	}
+	if tr.Key != t.req.Key {
+		return experiments.CellPayload{}, fmt.Errorf("dist: worker %s answered key %q for task %q", w.addr, tr.Key, t.req.Key)
+	}
+	p, err := tr.DecodePayload()
+	if err != nil {
+		// A CRC mismatch is transit damage, not a wrong cell: retryable.
+		return experiments.CellPayload{}, &WorkerError{Worker: w.addr, Err: err}
+	}
+	return p, nil
+}
+
+// Fleet is a set of spawned local worker processes.
+type Fleet struct {
+	Addrs []string
+	procs []*exec.Cmd
+}
+
+// SpawnWorkers re-executes the current binary n times as workers
+// (`-worker -listen 127.0.0.1:0`), waits for each ready line, and returns
+// the fleet. extra is appended to each worker's argument list.
+func SpawnWorkers(n int, extra ...string) (*Fleet, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("dist: locate executable: %w", err)
+	}
+	f := &Fleet{}
+	for i := 0; i < n; i++ {
+		args := append([]string{"-worker", "-listen", "127.0.0.1:0"}, extra...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dist: worker stdout: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dist: spawn worker: %w", err)
+		}
+		f.procs = append(f.procs, cmd)
+		addr, err := readReadyLine(out)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dist: worker %d: %w", i, err)
+		}
+		f.Addrs = append(f.Addrs, addr)
+	}
+	return f, nil
+}
+
+func readReadyLine(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ReadyPrefix) {
+			// Keep draining stdout in the background so the worker never
+			// blocks on a full pipe.
+			go io.Copy(io.Discard, r)
+			return strings.TrimSpace(strings.TrimPrefix(line, ReadyPrefix)), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("worker exited before printing ready line")
+}
+
+// Close interrupts every worker and waits briefly for a clean drain,
+// killing stragglers.
+func (f *Fleet) Close() {
+	for _, p := range f.procs {
+		if p.Process != nil {
+			p.Process.Signal(os.Interrupt)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, p := range f.procs {
+			p.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		for _, p := range f.procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		<-done
+	}
+}

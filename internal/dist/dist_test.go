@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ignite/internal/experiments"
+	"ignite/internal/faults"
+	"ignite/internal/lukewarm"
+	"ignite/internal/obs"
+	"ignite/internal/sim"
+	"ignite/internal/workload"
+)
+
+// testOpts builds a two-workload experiment configuration small enough for
+// unit tests (same shrink as the experiments package's chaos tests).
+func testOpts(t *testing.T) experiments.Options {
+	t.Helper()
+	var specs []workload.Spec
+	for _, name := range []string{"Fib-G", "Auth-G"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TargetInstr /= 8
+		specs = append(specs, s)
+	}
+	return experiments.Options{Workloads: specs, Parallel: 2}
+}
+
+// startWorkers boots n in-process workers on httptest servers and returns
+// their addresses.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv := httptest.NewServer(NewWorker().Handler())
+		t.Cleanup(srv.Close)
+		addrs[i] = strings.TrimPrefix(srv.URL, "http://")
+	}
+	return addrs
+}
+
+func docBytes(t *testing.T, res *experiments.Result, opt experiments.Options) []byte {
+	t.Helper()
+	man := opt.Manifest()
+	man.GoVersion = ""
+	data, err := res.Document(man).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDistByteIdenticalToLocal is the tentpole's core promise: a sweep
+// whose cells were computed by remote workers produces the exact same
+// document — values, tables, per-cell metrics, manifest cache statistics —
+// as the same sweep computed in process.
+func TestDistByteIdenticalToLocal(t *testing.T) {
+	optLocal := testOpts(t)
+	optLocal.Cache = experiments.NewCellCache()
+	resLocal, err := experiments.Run(context.Background(), "fig1", optLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docLocal := docBytes(t, resLocal, optLocal)
+
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: startWorkers(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	optDist := testOpts(t)
+	optDist.Cache = experiments.NewCellCache()
+	optDist.Cache.SetRemote(coord.Remote())
+	resDist, err := experiments.Run(context.Background(), "fig1", optDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docDist := docBytes(t, resDist, optDist)
+
+	if !bytes.Equal(docLocal, docDist) {
+		t.Error("distributed document differs from local run")
+	}
+	if tasks, _, _ := coord.Stats(); tasks != 4 {
+		t.Errorf("coordinator completed %d tasks, want 4 (2 workloads x 2 configs)", tasks)
+	}
+}
+
+// TestWorkerRejectsKeyMismatch pins the version-skew guard: a task whose
+// coordinator-computed key disagrees with the worker's derivation must be
+// refused with a permanent key-mismatch envelope, never computed.
+func TestWorkerRejectsKeyMismatch(t *testing.T) {
+	addr := startWorkers(t, 1)[0]
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := TaskRequest{
+		SchemaVersion: SchemaVersion,
+		Key:           "not-the-real-key",
+		Workload:      spec,
+		Config:        sim.KindNL,
+		Mode:          lukewarm.Interleaved,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post("http://"+addr+PathTask, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != CodeKeyMismatch || env.Retryable {
+		t.Errorf("envelope = %+v, want permanent %s", env, CodeKeyMismatch)
+	}
+}
+
+// TestCoordinatorFailover points the coordinator at one dead address and
+// one live worker: every cell must still complete (the dead worker's
+// failures reroute, not fail, the sweep) and the failover/health metrics
+// must record the reroutes.
+func TestCoordinatorFailover(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	live := startWorkers(t, 1)[0]
+
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: []string{dead, live}, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	opt := testOpts(t)
+	opt.Cache = experiments.NewCellCache()
+	opt.Cache.SetRemote(coord.Remote())
+	res, err := experiments.Run(context.Background(), "fig1", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 0 {
+		t.Errorf("failures = %v, want none (failover should absorb the dead worker)", res.Failures)
+	}
+
+	reg := obs.NewRegistry()
+	coord.RegisterMetrics(reg)
+	vals := reg.Snapshot().Values()
+	deadHealth := vals["dist.worker_health{component=dist,worker="+dead+"}"]
+	liveHealth := vals["dist.worker_health{component=dist,worker="+live+"}"]
+	if deadHealth != 0 || liveHealth != 1 {
+		t.Errorf("health gauges: dead=%v live=%v, want 0 and 1", deadHealth, liveHealth)
+	}
+	if vals["dist.worker_failures{component=dist}"] == 0 {
+		t.Error("no worker failures recorded despite a dead worker")
+	}
+}
+
+// TestCoordinatorStealing homes several tasks on worker 0 with worker 0
+// serialized to one slot: worker 1's idle runner must steal from worker
+// 0's queue instead of letting it serialize the sweep.
+func TestCoordinatorStealing(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: addrs, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	base, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.TargetInstr /= 8
+	// Vary the instruction budget until six distinct cells all hash onto
+	// worker 0 — the hot-queue shape stealing exists for.
+	var specs []experiments.CellSpec
+	for budget := base.TargetInstr; len(specs) < 6; budget++ {
+		s := base
+		s.TargetInstr = budget
+		cs := experiments.CellSpec{Workload: s, Config: sim.KindNL, Mode: lukewarm.Interleaved}
+		if coord.home(cs.Key()) == 0 {
+			specs = append(specs, cs)
+		}
+	}
+
+	remote := coord.Remote()
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, cs := range specs {
+		wg.Add(1)
+		go func(i int, cs experiments.CellSpec) {
+			defer wg.Done()
+			_, errs[i] = remote(context.Background(), cs, experiments.CellEnv{})
+		}(i, cs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+	tasks, steals, _ := coord.Stats()
+	if tasks != uint64(len(specs)) {
+		t.Errorf("tasks = %d, want %d", tasks, len(specs))
+	}
+	if steals == 0 {
+		t.Error("no steals recorded: worker 1 idled while worker 0's queue was hot")
+	}
+}
+
+// TestDrainingWorkerShedsRetryable: a draining worker refuses new tasks
+// with a retryable shutting-down envelope, which the coordinator surfaces
+// as a transient error (so the scheduler retries elsewhere).
+func TestDrainingWorkerShedsRetryable(t *testing.T) {
+	w := NewWorker()
+	w.Drain() // no in-flight work: flips to draining immediately
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := experiments.CellSpec{Workload: spec, Config: sim.KindNL, Mode: lukewarm.Interleaved}
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: []string{addr}, Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	_, rerr := coord.Remote()(context.Background(), cs, experiments.CellEnv{})
+	var we *WorkerError
+	if !errors.As(rerr, &we) || !faults.IsTransient(rerr) {
+		t.Fatalf("draining worker error = %v, want transient *WorkerError", rerr)
+	}
+
+	// Health endpoint reports the drain.
+	resp, err := http.Get(srv.URL + PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+}
+
+// TestParseTaskRequestStrict pins the wire API's strictness: unknown
+// fields, foreign schema versions and missing identities are rejected.
+func TestParseTaskRequestStrict(t *testing.T) {
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := TaskRequest{
+		SchemaVersion: SchemaVersion,
+		Key:           "k",
+		Workload:      spec,
+		Config:        sim.KindNL,
+	}
+	body, _ := json.Marshal(good)
+	if _, env := ParseTaskRequest(body); env != nil {
+		t.Fatalf("valid request rejected: %v", env)
+	}
+	for name, mangle := range map[string]func([]byte) []byte{
+		"unknown field": func(b []byte) []byte {
+			return append(b[:len(b)-1], []byte(`,"surprise":1}`)...)
+		},
+		"wrong schema": func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"schemaVersion":1`), []byte(`"schemaVersion":9`), 1)
+		},
+		"missing key": func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"key":"k"`), []byte(`"key":""`), 1)
+		},
+	} {
+		if _, env := ParseTaskRequest(mangle(body)); env == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

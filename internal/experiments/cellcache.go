@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
@@ -8,6 +10,7 @@ import (
 	"ignite/internal/cfg"
 	"ignite/internal/engine"
 	"ignite/internal/faults"
+	"ignite/internal/lukewarm"
 	"ignite/internal/obs"
 	"ignite/internal/sim"
 	"ignite/internal/workload"
@@ -49,7 +52,52 @@ type CellCache struct {
 	// across every cell). Disabled only on the benchmark path that
 	// replays the pre-scheduler cost model.
 	shareTraces bool
+	// backing, when set, persists computed cells to (and restores them
+	// from) a cross-run store — see SetBacking. Loads and saves happen
+	// inside the entry's single-flight section, so hit accounting (and
+	// therefore exported manifests) is identical between a cold run and a
+	// warm-store rerun.
+	backing CellBacking
+	// remote, when set, delegates fresh cell computation out of process —
+	// see SetRemote. The backing store is consulted first, so a
+	// coordinator with a warm store never ships the cell over the wire.
+	remote RemoteFunc
 }
+
+// CellBacking is a persistent cell store the cache reads through: Load
+// returns the stored result for a key (ok=false on any miss, including a
+// detected-corrupt record — the cache recomputes and Save repairs), and
+// Save persists a freshly computed cell. Implementations must be safe for
+// concurrent use; the experiments layer binds internal/store through this
+// seam (see BindStore).
+type CellBacking interface {
+	Load(key string) (res CellPayload, ok bool)
+	Save(key string, res CellPayload)
+}
+
+// CellPayload is the portable value of one computed cell — exactly what
+// the journal, the content-addressed store, and the distributed-sweep wire
+// protocol all carry. lukewarm.Result is plain exported data, so a JSON
+// round trip reproduces it bit-identically.
+type CellPayload struct {
+	Res     *lukewarm.Result   `json:"res"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// RemoteFunc computes one cell out of process (a distributed-sweep
+// coordinator shipping the cell to a worker). A transient error (anything
+// exposing Transient() bool, e.g. a worker connection failure) is not
+// cached: the entry is evicted so the scheduler's retry machinery gets a
+// fresh attempt instead of the memoized failure.
+type RemoteFunc func(ctx context.Context, cs CellSpec, env CellEnv) (CellPayload, error)
+
+// SetBacking installs a persistent store behind the cache. Must be set
+// before the first cell request.
+func (cc *CellCache) SetBacking(b CellBacking) { cc.backing = b }
+
+// SetRemote installs an out-of-process compute delegate. Must be set
+// before the first cell request.
+func (cc *CellCache) SetRemote(fn RemoteFunc) { cc.remote = fn }
 
 type progEntry struct {
 	once sync.Once
@@ -125,8 +173,10 @@ func (cc *CellCache) program(spec workload.Spec) (*cfg.Program, error) {
 // cellEnv carries the per-run knobs that shape how a fresh cell simulates
 // without affecting its result, so none of them belong in the cache key:
 // tracing and checking never alter outcomes (a check can only abort the
-// run), and the cycle-budget watchdog is abort-only.
+// run), and the cycle-budget watchdog is abort-only. ctx bounds remote
+// computation only — local simulation is pure CPU and runs to completion.
 type cellEnv struct {
+	ctx       context.Context
 	tracer    obs.Tracer
 	checks    bool
 	maxCycles uint64
@@ -159,8 +209,47 @@ func (cc *CellCache) cell(spec workload.Spec, rc runConfig, env cellEnv) (*cell,
 				e.c, e.err = nil, &faults.PanicError{Value: v, Stack: debug.Stack()}
 			}
 		}()
-		e.c, e.err = cc.compute(spec, rc, env)
+		// Persistent store first: a warm record turns the cell into pure
+		// I/O. Loading inside the single-flight section keeps cache-hit
+		// accounting — and therefore exported manifests — identical
+		// between a cold run and a warm-store rerun.
+		if cc.backing != nil {
+			if p, ok := cc.backing.Load(key); ok {
+				e.c = &cell{Res: p.Res, Metrics: p.Metrics}
+				return
+			}
+		}
+		if cc.remote != nil {
+			ctx := env.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			cs := CellSpec{Workload: spec, Config: rc.Kind, Tweaks: rc.Tweak, Mode: rc.Mode}
+			p, err := cc.remote(ctx, cs, CellEnv{Tracer: env.tracer, Checks: env.checks, MaxCycles: env.maxCycles})
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.c = &cell{Res: p.Res, Metrics: p.Metrics}
+		} else {
+			e.c, e.err = cc.compute(spec, rc, env)
+		}
+		if e.err == nil && cc.backing != nil {
+			cc.backing.Save(key, CellPayload{Res: e.c.Res, Metrics: e.c.Metrics})
+		}
 	})
+	// A transient remote failure (worker connection lost, fleet draining)
+	// or an attempt ended by its context must not be memoized: evict the
+	// entry so the scheduler's retry — or the next run sharing this cache —
+	// gets a fresh attempt. Deterministic failures stay cached as before.
+	if e.err != nil && cc.remote != nil &&
+		(faults.IsTransient(e.err) || errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		cc.mu.Lock()
+		if cc.cells[key] == e {
+			delete(cc.cells, key)
+		}
+		cc.mu.Unlock()
+	}
 	return e.c, hit, e.err
 }
 

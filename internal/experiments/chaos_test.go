@@ -404,7 +404,7 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 
 	opt1 := chaosOpts(t)
 	opt1.Cache = NewCellCache()
-	j1, err := OpenJournal(path)
+	j1, err := OpenJournal(path, opt1.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestJournalResumeByteIdentical(t *testing.T) {
 
 	opt2 := chaosOpts(t)
 	opt2.Cache = NewCellCache()
-	j2, err := OpenJournal(path)
+	j2, err := OpenJournal(path, opt2.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +457,7 @@ func TestJournalCorruptionDetected(t *testing.T) {
 	opt1 := chaosOpts(t)
 	opt1.Cache = NewCellCache()
 	opt1.Faults = plan
-	j1, err := OpenJournal(path)
+	j1, err := OpenJournal(path, opt1.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +481,7 @@ func TestJournalCorruptionDetected(t *testing.T) {
 
 	opt2 := chaosOpts(t)
 	opt2.Cache = NewCellCache()
-	j2, err := OpenJournal(path)
+	j2, err := OpenJournal(path, opt2.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +507,8 @@ func TestJournalCorruptionDetected(t *testing.T) {
 }
 
 // TestJournalRejectsForeignHeader asserts a journal of a different kind or
-// schema version fails loudly instead of silently loading garbage.
+// schema version fails loudly — at open, before any record could be
+// appended to or replayed from it — instead of silently loading garbage.
 func TestJournalRejectsForeignHeader(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bad.jsonl")
@@ -515,13 +516,62 @@ func TestJournalRejectsForeignHeader(t *testing.T) {
 		[]byte(`{"kind":"something-else","schemaVersion":9}`+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	j, err := OpenJournal(path)
+	var jce *JournalConfigError
+	if _, err := OpenJournal(path, "whatever"); !errors.As(err, &jce) {
+		t.Fatalf("OpenJournal on foreign journal = %v, want *JournalConfigError", err)
+	}
+	if jce.Field != "kind" {
+		t.Errorf("rejected on %q, want kind", jce.Field)
+	}
+}
+
+// TestJournalRejectsForeignConfig is the regression test for the resume
+// config-binding bug: a journal written by a different workload matrix has
+// the right kind and schema but a different configuration fingerprint, and
+// must be rejected typed — both at open and at resume — instead of
+// preloading cells the run never asked for.
+func TestJournalRejectsForeignConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.journal.jsonl")
+
+	optA := chaosOpts(t)
+	j, err := OpenJournal(path, optA.Fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer j.Close()
-	if _, _, err := j.Resume(NewCellCache()); err == nil {
-		t.Error("foreign journal header accepted")
+	j.Close()
+
+	// The same matrix at a different scale is a different configuration:
+	// every cell key embeds TargetInstr, so optB's run can never use optA's
+	// records.
+	optB := chaosOpts(t)
+	for i := range optB.Workloads {
+		optB.Workloads[i].TargetInstr *= 2
+	}
+	if optA.Fingerprint() == optB.Fingerprint() {
+		t.Fatal("scaled matrix produced an identical fingerprint")
+	}
+	var jce *JournalConfigError
+	if _, err := OpenJournal(path, optB.Fingerprint()); !errors.As(err, &jce) {
+		t.Fatalf("OpenJournal under foreign config = %v, want *JournalConfigError", err)
+	}
+	if jce.Field != "fingerprint" {
+		t.Errorf("rejected on %q, want fingerprint", jce.Field)
+	}
+
+	// Resume revalidates even if the handle predates the mismatch (the file
+	// may have been swapped between open and resume).
+	good, err := OpenJournal(path, optA.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := os.WriteFile(path, []byte(
+		`{"kind":"ignite.run-journal","schemaVersion":1,"fingerprint":"someone-else"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := good.Resume(NewCellCache()); !errors.As(err, &jce) {
+		t.Errorf("Resume after fingerprint swap = %v, want *JournalConfigError", err)
 	}
 }
 

@@ -6,6 +6,8 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -113,6 +115,29 @@ func (o Options) withDefaults() Options {
 		o.Checks = true
 	}
 	return o
+}
+
+// Fingerprint hashes the run configuration's contribution to cell cache
+// keys: the sorted spec keys of the workload matrix (name, instruction
+// budget, generator parameters, data profile — everything a -scale or
+// -workloads flag changes). Two runs share a fingerprint exactly when
+// every cell key one run can produce is a key the other can produce, which
+// is the condition under which replaying one run's journal into the other
+// is sound. Journals and distributed-sweep stores embed it so cross-run
+// artifacts are bound to the configuration that wrote them.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	keys := make([]string, len(o.Workloads))
+	for i, s := range o.Workloads {
+		keys[i] = specKey(s)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Result is a reproduced table/figure: a rendered table plus the raw values
@@ -408,7 +433,9 @@ func runMatrix(ctx context.Context, id ID, opt Options, configs []runConfig) (*m
 		if err := opt.Faults.Fire(cctx, site); err != nil {
 			return err
 		}
-		c, cached, err := cache.cell(spec, rc, env)
+		cellEnv := env
+		cellEnv.ctx = cctx // bounds remote computation; local cells run to completion
+		c, cached, err := cache.cell(spec, rc, cellEnv)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", spec.Name, rc.Name, err)
 		}

@@ -24,16 +24,38 @@ const (
 	journalSchemaVersion = 1
 )
 
-// journalLine is one line of the journal: either the header (Kind and
-// SchemaVersion set) or a record (Key, CRC and Cell set). CRC is the IEEE
-// CRC-32 of the raw Cell payload, computed before the enclosing line is
-// marshaled, so any torn or bit-flipped record fails verification.
+// journalLine is one line of the journal: either the header (Kind,
+// SchemaVersion and Fingerprint set) or a record (Key, CRC and Cell set).
+// CRC is the IEEE CRC-32 of the raw Cell payload, computed before the
+// enclosing line is marshaled, so any torn or bit-flipped record fails
+// verification. Fingerprint binds the journal to the run configuration
+// that wrote it (see Options.Fingerprint): cell keys embed the full
+// workload spec, so replaying a journal from a different matrix or scale
+// would silently preload keys the run never asks for — or worse, collide
+// on renamed specs — instead of erroring.
 type journalLine struct {
 	Kind          string          `json:"kind,omitempty"`
 	SchemaVersion int             `json:"schemaVersion,omitempty"`
+	Fingerprint   string          `json:"fingerprint,omitempty"`
 	Key           string          `json:"key,omitempty"`
 	CRC           uint32          `json:"crc,omitempty"`
 	Cell          json.RawMessage `json:"cell,omitempty"`
+}
+
+// JournalConfigError reports a journal whose header belongs to a
+// different run configuration (or journal format) than the one trying to
+// use it. It is returned by OpenJournal and Resume instead of silently
+// accepting foreign records.
+type JournalConfigError struct {
+	Path  string
+	Field string // "kind", "schemaVersion" or "fingerprint"
+	Got   string
+	Want  string
+}
+
+func (e *JournalConfigError) Error() string {
+	return fmt.Sprintf("experiments: journal %s: header %s is %q, this run wants %q (refusing to mix runs; use a fresh journal path)",
+		e.Path, e.Field, e.Got, e.Want)
 }
 
 // journalCell is the persisted form of one computed cell. lukewarm.Result
@@ -54,15 +76,20 @@ type journalCell struct {
 // of recomputing finished cells. Safe for concurrent use — cells finish on
 // scheduler worker goroutines.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	seen map[string]bool
-	path string
+	mu          sync.Mutex
+	f           *os.File
+	seen        map[string]bool
+	path        string
+	fingerprint string
 }
 
 // OpenJournal opens (creating if needed) the journal at path for appending.
-// A fresh journal gets its header line immediately.
-func OpenJournal(path string) (*Journal, error) {
+// A fresh journal gets its header line — including the run-configuration
+// fingerprint (Options.Fingerprint) — immediately; an existing journal's
+// header is validated against fingerprint before any record is appended or
+// replayed, so a journal written by a different matrix, scale or schema is
+// rejected with a *JournalConfigError instead of silently mixed in.
+func OpenJournal(path, fingerprint string) (*Journal, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("experiments: journal: %w", err)
@@ -72,14 +99,16 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: journal: %w", err)
 	}
-	j := &Journal{f: f, seen: make(map[string]bool), path: path}
+	j := &Journal{f: f, seen: make(map[string]bool), path: path, fingerprint: fingerprint}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("experiments: journal: %w", err)
 	}
 	if st.Size() == 0 {
-		header, err := json.Marshal(journalLine{Kind: journalKind, SchemaVersion: journalSchemaVersion})
+		header, err := json.Marshal(journalLine{
+			Kind: journalKind, SchemaVersion: journalSchemaVersion, Fingerprint: fingerprint,
+		})
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -88,8 +117,48 @@ func OpenJournal(path string) (*Journal, error) {
 			f.Close()
 			return nil, fmt.Errorf("experiments: journal: %w", err)
 		}
+	} else if err := j.checkHeader(); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return j, nil
+}
+
+// checkHeader reads the journal's first line and validates kind, schema
+// version and configuration fingerprint against this run. A file whose
+// first line is not a parseable header (a truncated or pre-header-format
+// journal) fails the kind check — a journal that cannot prove its origin
+// is as unusable as one proving the wrong origin.
+func (j *Journal) checkHeader() error {
+	f, err := os.Open(j.path)
+	if err != nil {
+		return fmt.Errorf("experiments: journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var header journalLine
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		_ = json.Unmarshal(raw, &header) // zero journalLine on error fails the kind check below
+		break
+	}
+	if header.Kind != journalKind {
+		return &JournalConfigError{Path: j.path, Field: "kind", Got: header.Kind, Want: journalKind}
+	}
+	if header.SchemaVersion != journalSchemaVersion {
+		return &JournalConfigError{
+			Path: j.path, Field: "schemaVersion",
+			Got: fmt.Sprintf("%d", header.SchemaVersion), Want: fmt.Sprintf("%d", journalSchemaVersion),
+		}
+	}
+	if header.Fingerprint != j.fingerprint {
+		return &JournalConfigError{Path: j.path, Field: "fingerprint", Got: header.Fingerprint, Want: j.fingerprint}
+	}
+	return nil
 }
 
 // Path returns the journal's file path.
@@ -148,9 +217,15 @@ func (j *Journal) Record(key string, site faults.Site, c *cell, plan *faults.Pla
 // marks the keys seen so the resumed run does not re-append them. It is
 // corruption-tolerant: unparseable lines, CRC mismatches, and truncated
 // tails are counted in skipped and otherwise ignored — a crash mid-write
-// costs one cell, not the journal. Only a journal whose header names a
-// different kind or schema version is rejected outright.
+// costs one cell, not the journal. The header, however, is load-bearing: a
+// journal whose kind, schema version or run-configuration fingerprint does
+// not match this run is rejected with a *JournalConfigError, because its
+// records belong to a different matrix and preloading them would either be
+// dead weight or (on a renamed-but-recycled spec) silently wrong.
 func (j *Journal) Resume(cc *CellCache) (loaded, skipped int, err error) {
+	if err := j.checkHeader(); err != nil {
+		return 0, 0, err
+	}
 	f, err := os.Open(j.path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("experiments: journal resume: %w", err)
@@ -158,7 +233,6 @@ func (j *Journal) Resume(cc *CellCache) (loaded, skipped int, err error) {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	first := true
 	for sc.Scan() {
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
@@ -169,15 +243,8 @@ func (j *Journal) Resume(cc *CellCache) (loaded, skipped int, err error) {
 			skipped++
 			continue
 		}
-		if first {
-			first = false
-			if line.Kind != "" {
-				if line.Kind != journalKind || line.SchemaVersion != journalSchemaVersion {
-					return 0, 0, fmt.Errorf("experiments: journal resume: %s is %q v%d, want %q v%d",
-						j.path, line.Kind, line.SchemaVersion, journalKind, journalSchemaVersion)
-				}
-				continue
-			}
+		if line.Kind != "" {
+			continue // the (already validated) header
 		}
 		if line.Key == "" || len(line.Cell) == 0 {
 			skipped++

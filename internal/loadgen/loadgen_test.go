@@ -236,3 +236,62 @@ func TestRunnerCancel(t *testing.T) {
 		t.Errorf("cancel did not stop dispatch: sent %d of %d", stats.Sent, len(sched))
 	}
 }
+
+// TestRunnerRetriesShedRequests exercises the client half of the backoff
+// contract: a 429 carrying Retry-After is retried after the hinted wait
+// (not hot-looped), the eventual 2xx counts as OK, and the retry surfaces
+// in both RunStats.Retries and the latency measured from the scheduled
+// arrival — the wait is paid, not hidden.
+func TestRunnerRetriesShedRequests(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	stats, err := Run(context.Background(), RunConfig{
+		URL:         srv.URL,
+		Body:        []byte(`{}`),
+		Schedule:    []time.Duration{0},
+		Senders:     1,
+		ShedRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OK != 1 || stats.Errors != 0 {
+		t.Errorf("ok %d errors %d, want the retried request to succeed", stats.OK, stats.Errors)
+	}
+	if stats.Retries != 1 {
+		t.Errorf("retries = %d, want 1", stats.Retries)
+	}
+	if stats.StatusCount["429"] != 1 || stats.StatusCount["200"] != 1 {
+		t.Errorf("status counts = %v, want one shed and one success", stats.StatusCount)
+	}
+	if stats.Latency.Count() != 1 {
+		t.Errorf("latency observations = %d, want 1 (per arrival, not per attempt)", stats.Latency.Count())
+	}
+	if max := stats.Latency.Quantile(1); max < time.Second {
+		t.Errorf("max latency %v, want >= the 1s Retry-After wait", max)
+	}
+
+	// With retries disabled the same shed response is a terminal error.
+	hits.Store(0)
+	stats, err = Run(context.Background(), RunConfig{
+		URL:      srv.URL,
+		Body:     []byte(`{}`),
+		Schedule: []time.Duration{0},
+		Senders:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 1 || stats.Retries != 0 {
+		t.Errorf("no-retry run: errors %d retries %d, want 1 and 0", stats.Errors, stats.Retries)
+	}
+}

@@ -34,6 +34,7 @@ type Report struct {
 	Sent        uint64            `json:"sent"`
 	OK          uint64            `json:"ok"`
 	Errors      uint64            `json:"errors"`
+	Retries     uint64            `json:"retries,omitempty"`
 	StatusCount map[string]uint64 `json:"statusCount,omitempty"`
 	AchievedRPS float64           `json:"achievedRPS"`
 

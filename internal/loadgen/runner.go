@@ -29,6 +29,13 @@ type RunConfig struct {
 	Senders int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// ShedRetries caps how many times one arrival retries a shed (429)
+	// response, waiting out the server's Retry-After hint between attempts.
+	// 0 keeps the pre-retry behavior: a shed response counts as an error
+	// immediately. Latency stays measured from the scheduled arrival
+	// through the final attempt, so retried requests pay their waits in
+	// the reported distribution — open-loop discipline survives retries.
+	ShedRetries int
 }
 
 // RunStats is the client-side outcome of one run.
@@ -36,7 +43,8 @@ type RunStats struct {
 	Scheduled   uint64
 	Sent        uint64
 	OK          uint64
-	Errors      uint64 // transport failures + non-2xx
+	Errors      uint64 // transport failures + non-2xx final outcomes
+	Retries     uint64 // shed (429) responses retried after their Retry-After
 	StatusCount map[string]uint64
 	Latency     *Sketch
 	Elapsed     time.Duration
@@ -79,7 +87,7 @@ func Run(ctx context.Context, cfg RunConfig) (RunStats, error) {
 		StatusCount: make(map[string]uint64),
 		Latency:     NewSketch(),
 	}
-	var sent, ok, errs atomic.Uint64
+	var sent, ok, errs, retried atomic.Uint64
 	var statusMu sync.Mutex
 
 	jobs := make(chan time.Time, senders*4)
@@ -90,30 +98,43 @@ func Run(ctx context.Context, cfg RunConfig) (RunStats, error) {
 			defer wg.Done()
 			for scheduled := range jobs {
 				sent.Add(1)
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(cfg.Body))
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				req.Header.Set("Content-Type", "application/json")
-				resp, err := client.Do(req)
-				if err != nil {
-					errs.Add(1)
+			attempt:
+				for tries := 0; ; tries++ {
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(cfg.Body))
+					if err != nil {
+						errs.Add(1)
+						break
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := client.Do(req)
+					if err != nil {
+						errs.Add(1)
+						statusMu.Lock()
+						stats.StatusCount["transport-error"]++
+						statusMu.Unlock()
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
 					statusMu.Lock()
-					stats.StatusCount["transport-error"]++
+					stats.StatusCount[strconv.Itoa(resp.StatusCode)]++
 					statusMu.Unlock()
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				stats.Latency.Observe(time.Since(scheduled))
-				statusMu.Lock()
-				stats.StatusCount[strconv.Itoa(resp.StatusCode)]++
-				statusMu.Unlock()
-				if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-					ok.Add(1)
-				} else {
-					errs.Add(1)
+					if resp.StatusCode == http.StatusTooManyRequests &&
+						tries < cfg.ShedRetries && ctx.Err() == nil {
+						retried.Add(1)
+						select {
+						case <-time.After(retryAfter(resp)):
+							continue attempt
+						case <-ctx.Done():
+						}
+					}
+					stats.Latency.Observe(time.Since(scheduled))
+					if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+						ok.Add(1)
+					} else {
+						errs.Add(1)
+					}
+					break
 				}
 			}
 		}()
@@ -139,5 +160,20 @@ dispatch:
 	stats.Sent = sent.Load()
 	stats.OK = ok.Load()
 	stats.Errors = errs.Load()
+	stats.Retries = retried.Load()
 	return stats, ctx.Err()
+}
+
+// retryAfter reads the server's Retry-After hint off a shed response,
+// clamped to [1s, 30s] so a missing or absurd header can neither hot-loop
+// the generator nor park a sender for the rest of the run.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
 }

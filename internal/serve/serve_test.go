@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -587,5 +589,32 @@ func TestMetricsDocumentVersionGate(t *testing.T) {
 	wrongKind := bytes.Replace(data, []byte(MetricsDocumentKind), []byte("ignite.other"), 1)
 	if _, err := DecodeMetrics(wrongKind); err == nil {
 		t.Error("wrong kind accepted")
+	}
+}
+
+// TestRetryAfterHeader pins the backoff contract shed clients depend on:
+// retryable overload responses (429 shed, 503 shutting-down) carry a
+// Retry-After hint, while permanent errors do not — a client sleeping on a
+// 400 would be waiting for a success that can never come.
+func TestRetryAfterHeader(t *testing.T) {
+	s := startTestServer(t, Config{})
+	want := strconv.Itoa(RetryAfterSec)
+	for _, c := range []struct {
+		code string
+		want string
+	}{
+		{CodeOverloaded, want},
+		{CodeShuttingDown, want},
+		{CodeBadRequest, ""},
+		{CodeUnknownFunction, ""},
+	} {
+		rec := httptest.NewRecorder()
+		s.writeError(rec, envelope(c.code, "test"))
+		if got := rec.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("%s: Retry-After = %q, want %q", c.code, got, c.want)
+		}
+		if rec.Code != envelope(c.code, "test").HTTPStatus() {
+			t.Errorf("%s: status %d", c.code, rec.Code)
+		}
 	}
 }

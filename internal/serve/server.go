@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -377,9 +378,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// RetryAfterSec is the backoff hint stamped on shed (429) and
+// shutting-down (503) responses as a Retry-After header. One second spans
+// a cold cell simulation at serving scale, so a client that honors it
+// usually finds the cell warm on its retry instead of re-joining the
+// overload.
+const RetryAfterSec = 1
+
 func (s *Server) writeError(w http.ResponseWriter, env *ErrorEnvelope) {
 	if env.Code == CodeOverloaded {
 		s.mShed.Inc()
+	}
+	if env.Code == CodeOverloaded || env.Code == CodeShuttingDown {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSec))
 	}
 	s.mErrors.Inc()
 	writeJSON(w, env.HTTPStatus(), env)

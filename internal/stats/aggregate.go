@@ -5,10 +5,12 @@ import (
 	"sort"
 )
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Mean returns the arithmetic mean of xs. An empty slice yields NaN — an
+// aggregate over nothing is not 0, and a silent 0 reads as a real (and
+// alarming) data point in a speedup table. Any NaN in xs propagates.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var sum float64
 	for _, x := range xs {
@@ -19,10 +21,12 @@ func Mean(xs []float64) float64 {
 
 // GeoMean returns the geometric mean of xs. Non-positive entries are
 // clamped to a tiny positive value so a single zero does not collapse the
-// mean; callers comparing speedups should never produce such values.
+// mean; callers comparing speedups should never produce such values. An
+// empty slice yields NaN and any NaN in xs propagates (NaN compares false
+// with <= 0, so it escapes the clamp by design).
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	var sum float64
 	for _, x := range xs {
@@ -63,10 +67,17 @@ func Max(xs []float64) float64 {
 }
 
 // Median returns the median of xs (average of the two middle elements for
-// even lengths), or 0 for an empty slice. xs is not modified.
+// even lengths). An empty slice yields NaN, and so does any NaN in xs —
+// sort.Float64s gives NaN an unspecified position, so without the explicit
+// check the "median" would be an arbitrary element. xs is not modified.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)

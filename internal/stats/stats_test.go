@@ -105,9 +105,6 @@ func TestMeanAndGeoMean(t *testing.T) {
 	if !almostEqual(g, 2) {
 		t.Errorf("GeoMean(1,4) = %v, want 2", g)
 	}
-	if Mean(nil) != 0 || GeoMean(nil) != 0 {
-		t.Errorf("empty means should be 0")
-	}
 }
 
 func TestGeoMeanNonPositiveClamped(t *testing.T) {
@@ -128,8 +125,47 @@ func TestMinMaxMedian(t *testing.T) {
 	if got := Median([]float64{3, 1, 2}); !almostEqual(got, 2) {
 		t.Errorf("odd Median = %v, want 2", got)
 	}
-	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
-		t.Errorf("empty slice aggregates should be 0")
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Errorf("empty Min/Max = %v/%v, want 0", Min(nil), Max(nil))
+	}
+}
+
+// TestAggregateNaNContract pins the degenerate-input behavior of the
+// central-tendency aggregates: empty input yields NaN (never a fake 0 that
+// reads as a real data point), a NaN anywhere in the input propagates, and
+// nothing panics. Min/Max keep their 0-on-empty identity — they feed range
+// annotations, not headline numbers.
+func TestAggregateNaNContract(t *testing.T) {
+	nan := math.NaN()
+	fns := []struct {
+		name string
+		fn   func([]float64) float64
+	}{
+		{"Mean", Mean},
+		{"GeoMean", GeoMean},
+		{"Median", Median},
+	}
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"nil", nil},
+		{"empty", []float64{}},
+		{"all NaN", []float64{nan}},
+		{"NaN first", []float64{nan, 1, 2}},
+		{"NaN middle", []float64{1, nan, 2}},
+		{"NaN last", []float64{1, 2, nan}},
+	}
+	for _, f := range fns {
+		for _, c := range cases {
+			if got := f.fn(c.xs); !math.IsNaN(got) {
+				t.Errorf("%s(%s) = %v, want NaN", f.name, c.name, got)
+			}
+		}
+	}
+	// The NaN check must not perturb clean inputs.
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median(clean) = %v, want 2", got)
 	}
 }
 

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Merkle construction over store records. Leaves are derived from the
+// (record hash, record CRC) pairs the manifest lists, sorted by record
+// hash so the root is independent of insertion order; internal nodes hash
+// the concatenation of their children. Domain-separation prefixes keep a
+// leaf from ever being reinterpretable as an interior node (and vice
+// versa), the classic second-preimage hardening.
+var (
+	leafPrefix = []byte("ignite-store-leaf\x00")
+	nodePrefix = []byte("ignite-store-node\x00")
+)
+
+// leafHash binds one record's content address to its payload CRC.
+func leafHash(recordHash string, crc uint32) [sha256.Size]byte {
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+	h := sha256.New()
+	h.Write(leafPrefix)
+	h.Write([]byte(recordHash))
+	h.Write(crcb[:])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds the manifest entries into the root hash (hex). An empty
+// record set has the empty-string root, distinct from any real tree.
+func merkleRoot(entries []ManifestRecord) string {
+	if len(entries) == 0 {
+		return ""
+	}
+	sorted := append([]ManifestRecord(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Hash < sorted[j].Hash })
+	level := make([][sha256.Size]byte, len(sorted))
+	for i, e := range sorted {
+		level[i] = leafHash(e.Hash, e.CRC)
+	}
+	for len(level) > 1 {
+		next := level[:0:cap(level)]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				// Odd node: promoted unchanged, the simplest unambiguous
+				// handling (no duplicated sibling to confuse proofs).
+				next = append(next, level[i])
+				continue
+			}
+			h := sha256.New()
+			h.Write(nodePrefix)
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var out [sha256.Size]byte
+			h.Sum(out[:0])
+			next = append(next, out)
+		}
+		level = next
+	}
+	return hex.EncodeToString(level[0][:])
+}

@@ -123,6 +123,34 @@ go test -race -run 'TestSamplerDeterminism|TestMarketDeterminism|TestFleetFronti
   test -s fleet.tsv
 )
 
+# Distributed smoke: the same small sweep three ways — single-process,
+# distributed across two spawned workers writing a content-addressed store,
+# and a warm re-run over the sealed store (which must compute nothing
+# remotely). All three documents must be byte-identical modulo the
+# generation timestamp; -parallel and -target-instr are held constant
+# because both are part of the cell-cache manifest. The named -race pass
+# keeps the coordinator's work-stealing and failover paths honest.
+go test -race ./internal/dist
+(
+  cd "$smoke"
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G,Auth-G -target-instr 100000 -parallel 2 \
+    -out dist-local >/dev/null
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G,Auth-G -target-instr 100000 -parallel 2 \
+    -workers 2 -store cellstore -out dist-cold >/dev/null 2>dist-cold.log
+  grep -q 'store: sealed 4 record' dist-cold.log
+  ./ignite-bench \
+    -exp fig1 -workloads Fib-G,Auth-G -target-instr 100000 -parallel 2 \
+    -workers 2 -store cellstore -out dist-warm >/dev/null 2>dist-warm.log
+  grep -q 'dist: 0 task(s) completed remotely' dist-warm.log
+  grep -q 'store: 4 hit(s)' dist-warm.log
+  diff <(grep -v '"generated"' dist-local/fig1.json) \
+       <(grep -v '"generated"' dist-cold/fig1.json)
+  diff <(grep -v '"generated"' dist-local/fig1.json) \
+       <(grep -v '"generated"' dist-warm/fig1.json)
+)
+
 # Resume smoke: a journaled run, then a second run resumed from that journal
 # into a different output dir — the exported documents must match except for
 # the generation timestamp.
@@ -138,4 +166,4 @@ go test -race -run 'TestSamplerDeterminism|TestMarketDeterminism|TestFleetFronti
        <(grep -v '"generated"' resume-b/fig1.json)
 )
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, fleet smoke, resume)"
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, fleet smoke, dist smoke, resume)"
