@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,6 +40,7 @@ import (
 	"ignite/internal/cfgcli"
 	"ignite/internal/dist"
 	"ignite/internal/experiments"
+	"ignite/internal/faults"
 	"ignite/internal/obs"
 	"ignite/internal/store"
 	"ignite/internal/workload"
@@ -98,7 +100,8 @@ func main() {
 	listFlag := flag.Bool("list", false, "list experiments and workloads, then exit")
 	workerFlag := flag.Bool("worker", false, "run as a distributed-sweep worker: serve cell tasks on -listen until interrupted")
 	listenFlag := flag.String("listen", "127.0.0.1:0", "worker listen address (with -worker; :0 picks a free port and prints it)")
-	workersFlag := flag.Int("workers", 0, "spawn N local worker processes and distribute cells across them")
+	workersFlag := flag.Int("workers", 0, "spawn N supervised local worker processes and distribute cells across them (alias of -spawn-workers)")
+	spawnWorkersFlag := flag.Int("spawn-workers", 0, "spawn N supervised local worker processes: crashed workers restart with capped backoff on stable addresses")
 	workerAddrsFlag := flag.String("worker-addrs", "", "comma-separated addresses of already-running workers (alternative to -workers)")
 	storeFlag := flag.String("store", "", "directory of the persistent content-addressed cell store (created if missing)")
 	jsonFlag := flag.Bool("json", false, "write per-experiment wall-clock and allocation metrics to BENCH.json")
@@ -169,22 +172,34 @@ func main() {
 	// Distributed sweep: shard fresh cells across worker processes. Cells
 	// already in the store never reach the wire — the backing is consulted
 	// first — so a warm rerun with -workers is pure local I/O.
+	spawnN := *spawnWorkersFlag
+	if *workersFlag > 0 {
+		if spawnN > 0 {
+			cfgcli.Exit("ignite-bench", nil, cfgcli.Usage("ignite-bench: -workers and -spawn-workers are aliases; set one"))
+		}
+		spawnN = *workersFlag
+	}
 	var coord *dist.Coordinator
-	if *workersFlag > 0 || *workerAddrsFlag != "" {
+	var super *dist.Supervisor
+	if spawnN > 0 || *workerAddrsFlag != "" {
 		addrs := splitList(*workerAddrsFlag)
-		if *workersFlag > 0 && len(addrs) > 0 {
-			cfgcli.Exit("ignite-bench", nil, cfgcli.Usage("ignite-bench: -workers and -worker-addrs are mutually exclusive"))
+		if spawnN > 0 && len(addrs) > 0 {
+			cfgcli.Exit("ignite-bench", nil, cfgcli.Usage("ignite-bench: -spawn-workers and -worker-addrs are mutually exclusive"))
 		}
 		if len(addrs) == 0 {
-			fleet, err := dist.SpawnWorkers(*workersFlag)
+			super, err = dist.StartSupervisor(dist.SupervisorOptions{Workers: spawnN})
 			if err != nil {
 				cfgcli.Exit("ignite-bench", nil, err)
 			}
-			defer fleet.Close()
-			addrs = fleet.Addrs
-			fmt.Fprintf(os.Stderr, "spawned %d worker(s): %s\n", len(addrs), strings.Join(addrs, " "))
+			defer super.Close()
+			addrs = super.Addrs()
+			fmt.Fprintf(os.Stderr, "spawned %d supervised worker(s): %s\n", len(addrs), strings.Join(addrs, " "))
 		}
-		coord, err = dist.NewCoordinator(dist.CoordinatorOptions{Addrs: addrs})
+		// The coordinator's wire inherits the network chaos plan (conn-reset,
+		// slow-net, truncated-body, garbage-json rules): a plan without net
+		// rules leaves the transport unwrapped.
+		client := &http.Client{Transport: faults.NewTransport(opt.Faults, nil)}
+		coord, err = dist.NewCoordinator(dist.CoordinatorOptions{Addrs: addrs, Client: client})
 		if err != nil {
 			cfgcli.Exit("ignite-bench", nil, err)
 		}
@@ -281,6 +296,12 @@ func main() {
 		tasks, steals, failovers := coord.Stats()
 		fmt.Fprintf(os.Stderr, "dist: %d task(s) completed remotely, %d steal(s), %d failover(s)\n",
 			tasks, steals, failovers)
+		h := coord.Health()
+		fmt.Fprintf(os.Stderr, "dist: %d worker failure(s), %d quarantine(s), %d readmit(s), %d probe(s), %d hedge(s) (%d won)\n",
+			h.Failures, h.Quarantines, h.Readmits, h.Probes, h.Hedges, h.HedgeWins)
+	}
+	if super != nil {
+		fmt.Fprintf(os.Stderr, "dist: %d worker restart(s)\n", super.Restarts())
 	}
 	if cellStore != nil {
 		fmt.Fprintf(os.Stderr, "store: %d hit(s), %d miss(es), %d save(s), %d corruption(s) detected\n",

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"ignite/internal/dist"
+	"ignite/internal/experiments"
+	"ignite/internal/faults"
+	"ignite/internal/workload"
+)
+
+// TestMain doubles as the harness's worker entry point: the test binary,
+// re-executed with IGNITE_CHAOS_WORKER_LISTEN set, becomes a real worker
+// process (the `ignite-bench -worker` equivalent) instead of running the
+// suite — the supervisor cannot hand a test binary `-worker` flags.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("IGNITE_CHAOS_WORKER_LISTEN"); addr != "" {
+		if err := dist.RunWorker(context.Background(), addr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func workerCommand(t *testing.T) func(addr string) (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(addr string) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "IGNITE_CHAOS_WORKER_LISTEN="+addr)
+		return cmd, nil
+	}
+}
+
+// shrunkOpts is the quick two-workload matrix the experiments package's own
+// chaos tests use — small enough that the full experiment list stays
+// test-sized.
+func shrunkOpts(t *testing.T) experiments.Options {
+	t.Helper()
+	var specs []workload.Spec
+	for _, name := range []string{"Fib-G", "Auth-G"} {
+		s, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.TargetInstr /= 8
+		specs = append(specs, s)
+	}
+	return experiments.Options{Workloads: specs, Parallel: 2}
+}
+
+// TestChaosSweepByteIdentical is the end-to-end self-healing guarantee:
+// the full experiment sweep, distributed over a supervised fleet whose
+// workers are SIGKILLed mid-run under injected network faults, produces
+// byte-identical documents to a serial fault-free baseline, loses no
+// cells, re-admits every restarted worker, and seals the cell store to the
+// same Merkle root warm as cold.
+func TestChaosSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos sweep: three passes over every experiment")
+	}
+	net := faults.New(1)
+	for _, spec := range []string{
+		"conn-reset@net/*/task:trips=2",
+		"truncated-body@net/*/task:trips=2",
+		"garbage-json@net/*/task:trips=1",
+		"slow-net@net/*/health:trips=2,delay=100ms",
+	} {
+		if err := net.Add(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Run(context.Background(), Options{
+		Opt:       shrunkOpts(t),
+		Workers:   2,
+		StoreDir:  t.TempDir(),
+		Kills:     2,
+		KillEvery: 1500 * time.Millisecond,
+		Seed:      7,
+		Command:   workerCommand(t),
+		Net:       net,
+		Log: func(format string, args ...any) {
+			t.Logf("chaos: "+format, args...)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills < 1 {
+		t.Errorf("kills = %d: the sweep finished before any chaos landed (shrink less?)", rep.Kills)
+	}
+	if rep.Restarts < uint64(rep.Kills) {
+		t.Errorf("restarts = %d < kills = %d: the supervisor lost a worker for good", rep.Restarts, rep.Kills)
+	}
+	if rep.Kills >= 1 && rep.Health.Readmits < 1 {
+		t.Errorf("readmits = %d after %d kill(s): the prober never re-admitted a restarted worker", rep.Health.Readmits, rep.Kills)
+	}
+	if rep.Root == "" || rep.Root != rep.WarmRoot {
+		t.Errorf("merkle roots differ: cold %s, warm %s", rep.Root, rep.WarmRoot)
+	}
+	t.Logf("chaos report: %+v", rep)
+}

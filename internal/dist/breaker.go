@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// breakerState is one worker's admission state.
+type breakerState int32
+
+const (
+	// stateClosed: healthy — tasks flow, outcomes feed the sliding window.
+	stateClosed breakerState = iota
+	// stateHalfOpen: probation — a successful probe re-admitted the worker;
+	// one trial task (or another successful probe) closes the breaker, a
+	// failure re-opens it.
+	stateHalfOpen
+	// stateOpen: quarantined — no tasks are dispatched; only the prober
+	// talks to the worker, with capped exponential backoff.
+	stateOpen
+)
+
+// breaker is a per-worker sliding-window failure-rate circuit breaker. It
+// replaces the old binary healthy gauge: instead of one failed attempt
+// flipping the worker dead until a fallback task happens to land on it, the
+// breaker opens on a sustained failure rate and the prober re-admits it on
+// evidence of recovery. All methods are safe for concurrent use; the
+// breaker's mutex is a leaf lock (never held while acquiring another).
+type breaker struct {
+	mu    sync.Mutex
+	state breakerState
+
+	// window is a ring of recent attempt outcomes (true = failure).
+	window   []bool
+	widx     int
+	wlen     int
+	failures int
+
+	// trial marks the single in-flight probation task of a half-open
+	// breaker.
+	trial bool
+
+	// minSamples and rate are the trip condition: at least minSamples
+	// outcomes in the window and failures/len >= rate.
+	minSamples int
+	rate       float64
+}
+
+func newBreaker(window, minSamples int, rate float64) *breaker {
+	return &breaker{window: make([]bool, window), minSamples: minSamples, rate: rate}
+}
+
+// push records one outcome in the ring.
+func (b *breaker) push(failed bool) {
+	if b.wlen == len(b.window) {
+		if b.window[b.widx] {
+			b.failures--
+		}
+	} else {
+		b.wlen++
+	}
+	b.window[b.widx] = failed
+	if failed {
+		b.failures++
+	}
+	b.widx = (b.widx + 1) % len(b.window)
+}
+
+// reset clears the outcome window (used on state transitions so evidence
+// from one regime never trips the next).
+func (b *breaker) resetWindow() {
+	b.wlen, b.widx, b.failures = 0, 0, 0
+}
+
+// acquireAttempt reports whether the worker may attempt a task now: always
+// in closed state, exactly one concurrent trial in half-open, never in
+// open. The half-open claim is released by onSuccess/onFailure (attempt
+// ran) or releaseAttempt (attempt never started).
+func (b *breaker) acquireAttempt() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateHalfOpen:
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseAttempt returns an acquired attempt slot unused.
+func (b *breaker) releaseAttempt() {
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// onSuccess records a successful attempt. A half-open trial success closes
+// the breaker; the return reports that close (the caller wakes idle
+// runners).
+func (b *breaker) onSuccess() (closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if b.state == stateHalfOpen {
+		b.state = stateClosed
+		b.resetWindow()
+		return true
+	}
+	b.push(false)
+	return false
+}
+
+// onFailure records a failed attempt. Returns true when the failure opened
+// the breaker (quarantine transition).
+func (b *breaker) onFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+		b.resetWindow()
+		return true
+	}
+	if b.state == stateOpen {
+		return false
+	}
+	b.push(true)
+	if b.wlen >= b.minSamples && float64(b.failures) >= b.rate*float64(b.wlen) {
+		b.state = stateOpen
+		b.resetWindow()
+		return true
+	}
+	return false
+}
+
+// probeSuccess folds a successful health probe: open moves to half-open
+// (the re-admission transition the readmit counter tracks), half-open
+// closes outright — a worker that answers health twice in a row needs no
+// trial task. Returns the transition that happened.
+func (b *breaker) probeSuccess() (readmitted, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		b.state = stateHalfOpen
+		b.trial = false
+		return true, false
+	case stateHalfOpen:
+		if b.trial {
+			// A trial task is deciding; let it.
+			return false, false
+		}
+		b.state = stateClosed
+		b.resetWindow()
+		return false, true
+	}
+	return false, false
+}
+
+// probeFailure folds a failed health probe. On a closed breaker this is the
+// silent-death discovery path (a SIGKILL'd worker found by the slow-cadence
+// watch, not by sacrificing a task): it opens immediately. Returns true on
+// any transition to open.
+func (b *breaker) probeFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateOpen {
+		return false
+	}
+	b.state = stateOpen
+	b.trial = false
+	b.resetWindow()
+	return true
+}
+
+// current returns the state.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// gauge renders the state for the dist.worker_health metric: 1 closed,
+// 0.5 half-open, 0 open.
+func (b *breaker) gauge() float64 {
+	switch b.current() {
+	case stateClosed:
+		return 1
+	case stateHalfOpen:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// latQuantile tracks a small ring of recent task latencies per worker and
+// answers quantile queries — the adaptive input to the hedge delay.
+type latQuantile struct {
+	mu      sync.Mutex
+	samples [64]time.Duration
+	n, idx  int
+}
+
+// observe records one completed-attempt latency.
+func (l *latQuantile) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.idx] = d
+	l.idx = (l.idx + 1) % len(l.samples)
+	if l.n < len(l.samples) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-th latency quantile over the ring; ok=false until
+// enough samples (4) have accumulated to make the estimate meaningful.
+func (l *latQuantile) quantile(q float64) (time.Duration, bool) {
+	l.mu.Lock()
+	if l.n < 4 {
+		l.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, l.n)
+	copy(buf, l.samples[:l.n])
+	l.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(len(buf)-1))
+	return buf[idx], true
+}

@@ -5,12 +5,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/exec"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ignite/internal/experiments"
 	"ignite/internal/faults"
@@ -19,6 +24,36 @@ import (
 	"ignite/internal/sim"
 	"ignite/internal/workload"
 )
+
+// TestMain doubles as the supervisor tests' worker entry point: the test
+// binary, re-executed with IGNITE_DIST_TEST_WORKER set, becomes a real
+// worker process (the `ignite-bench -worker` equivalent) instead of
+// running the test suite.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("IGNITE_DIST_TEST_WORKER"); addr != "" {
+		if err := RunWorker(context.Background(), addr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testWorkerCommand re-executes this test binary as a worker process via
+// the TestMain hook.
+func testWorkerCommand(t *testing.T) func(addr string) (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(addr string) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "IGNITE_DIST_TEST_WORKER="+addr)
+		return cmd, nil
+	}
+}
 
 // testOpts builds a two-workload experiment configuration small enough for
 // unit tests (same shrink as the experiments package's chaos tests).
@@ -240,7 +275,7 @@ func TestDrainingWorkerShedsRetryable(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := experiments.CellSpec{Workload: spec, Config: sim.KindNL, Mode: lukewarm.Interleaved}
-	coord, err := NewCoordinator(CoordinatorOptions{Addrs: []string{addr}, Slots: 1})
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: []string{addr}, Slots: 1, MaxDispatchRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,5 +332,335 @@ func TestParseTaskRequestStrict(t *testing.T) {
 		if _, env := ParseTaskRequest(mangle(body)); env == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+// cellsHomedOn finds n distinct cells whose home queue is worker `home` on
+// coord, by varying the instruction budget of a shrunk Fib-G.
+func cellsHomedOn(t *testing.T, coord *Coordinator, home, n int) []experiments.CellSpec {
+	t.Helper()
+	base, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.TargetInstr /= 8
+	var specs []experiments.CellSpec
+	for budget := base.TargetInstr; len(specs) < n; budget++ {
+		s := base
+		s.TargetInstr = budget
+		cs := experiments.CellSpec{Workload: s, Config: sim.KindNL, Mode: lukewarm.Interleaved}
+		if coord.home(cs.Key()) == home {
+			specs = append(specs, cs)
+		}
+	}
+	return specs
+}
+
+// payloadBytes canonicalizes a cell payload for byte-identity checks.
+func payloadBytes(t *testing.T, p experiments.CellPayload) []byte {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTaskCancelNotWorkerFault pins error attribution: canceling a cell's
+// own context mid-call must end that task only — the worker is not blamed
+// (dist.worker_failures stays 0), no failover slot burns, and the worker
+// stays admitted.
+func TestTaskCancelNotWorkerFault(t *testing.T) {
+	// The "worker" hangs every request until the client gives up — the
+	// shape of a long cell, not a broken worker. The stop channel unblocks
+	// lingering handlers at cleanup so the server can close.
+	stop := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	defer srv.Close()
+	defer close(stop)
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	coord, err := NewCoordinator(CoordinatorOptions{Addrs: []string{addr}, Slots: 1, DisableProbing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := experiments.CellSpec{Workload: spec, Config: sim.KindNL, Mode: lukewarm.Interleaved}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, rerr := coord.Remote()(ctx, cs, experiments.CellEnv{})
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("canceled cell returned %v, want context.Canceled", rerr)
+	}
+	// The runner may still be classifying its canceled attempt; give it a
+	// beat before reading counters.
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.Health().Failures == 0 && time.Now().Before(deadline) {
+		if coord.WorkersHealthy() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h := coord.Health(); h.Failures != 0 {
+		t.Errorf("dist.worker_failures = %d after a task-owned cancel, want 0", h.Failures)
+	}
+	if !coord.WorkersHealthy() {
+		t.Error("worker lost admission over a task-owned cancel")
+	}
+}
+
+// TestWorkerDrainShedsInFlightFailover is the SIGTERM-drain story at the
+// coordinator's level: a request outstanding against a worker when its
+// drain begins is shed with a retryable envelope, the coordinator fails
+// over, and every cell still completes byte-identical to a local compute.
+func TestWorkerDrainShedsInFlightFailover(t *testing.T) {
+	wA := NewWorker()
+	inflight := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srvA := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathTask {
+			// Hold the first task on the wire so the drain demonstrably
+			// begins while a request is outstanding.
+			once.Do(func() { close(inflight); <-release })
+		}
+		wA.Handler().ServeHTTP(rw, r)
+	}))
+	defer srvA.Close()
+	srvB := httptest.NewServer(NewWorker().Handler())
+	defer srvB.Close()
+	addrA := strings.TrimPrefix(srvA.URL, "http://")
+	addrB := strings.TrimPrefix(srvB.URL, "http://")
+
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Addrs: []string{addrA, addrB}, Slots: 1,
+		DisableProbing: true, DisableHedging: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	specs := cellsHomedOn(t, coord, 0, 2)
+	remote := coord.Remote()
+	type out struct {
+		p   experiments.CellPayload
+		err error
+	}
+	res1 := make(chan out, 1)
+	go func() {
+		p, err := remote(context.Background(), specs[0], experiments.CellEnv{})
+		res1 <- out{p, err}
+	}()
+	<-inflight // the first task is outstanding against A
+	wA.BeginDrain()
+	close(release) // A now answers it with the retryable shutting-down shed
+
+	r1 := <-res1
+	if r1.err != nil {
+		t.Fatalf("cell 0 failed despite failover: %v", r1.err)
+	}
+	p2, err := remote(context.Background(), specs[1], experiments.CellEnv{})
+	if err != nil {
+		t.Fatalf("cell 1 failed despite failover: %v", err)
+	}
+
+	// Byte-identical to a local compute of the same cells.
+	local := experiments.NewCellCache()
+	for i, p := range []experiments.CellPayload{r1.p, p2} {
+		served, _, err := local.Invoke(specs[i], experiments.CellEnv{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := payloadBytes(t, experiments.CellPayload{Res: served.Res, Metrics: served.Metrics})
+		if !bytes.Equal(payloadBytes(t, p), want) {
+			t.Errorf("cell %d: failover payload differs from local compute", i)
+		}
+	}
+	// Cell 0 deterministically fails over (it was on A's wire when the
+	// drain began). Cell 1 may be stolen by idle B before draining A ever
+	// sees it, so only one failover is guaranteed.
+	if _, _, failovers := coord.Stats(); failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (the in-flight cell was shed by the draining worker)", failovers)
+	}
+}
+
+// TestHedgedDispatch: a task stuck on a slow worker past the hedge delay
+// is duplicated on the other worker; the fast copy wins, the slow attempt
+// is canceled without blaming anyone.
+func TestHedgedDispatch(t *testing.T) {
+	// The first task attempt — on whichever worker receives it — stalls;
+	// every later attempt is served normally. The hedge therefore always
+	// lands on a responsive worker and must win.
+	var slowed atomic.Bool
+	stop := make(chan struct{})
+	slowify := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == PathTask && slowed.CompareAndSwap(false, true) {
+				select {
+				case <-time.After(5 * time.Second):
+				case <-r.Context().Done():
+					return
+				case <-stop:
+					return
+				}
+			}
+			h.ServeHTTP(rw, r)
+		})
+	}
+	srvA := httptest.NewServer(slowify(NewWorker().Handler()))
+	defer srvA.Close()
+	srvB := httptest.NewServer(slowify(NewWorker().Handler()))
+	defer srvB.Close()
+	defer close(stop)
+
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Addrs: []string{
+			strings.TrimPrefix(srvA.URL, "http://"),
+			strings.TrimPrefix(srvB.URL, "http://"),
+		},
+		Slots:          1,
+		HedgeFallback:  50 * time.Millisecond,
+		DisableProbing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	cs := cellsHomedOn(t, coord, 0, 1)[0]
+	start := time.Now()
+	if _, err := coord.Remote()(context.Background(), cs, experiments.CellEnv{}); err != nil {
+		t.Fatalf("hedged cell failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Errorf("cell took %v: the hedge never rescued it from the slow worker", elapsed)
+	}
+	h := coord.Health()
+	if h.Hedges < 1 || h.HedgeWins < 1 {
+		t.Errorf("hedges = %d, wins = %d, want both >= 1", h.Hedges, h.HedgeWins)
+	}
+	if h.Failures != 0 {
+		t.Errorf("dist.worker_failures = %d: a canceled hedge loser was blamed on its worker", h.Failures)
+	}
+}
+
+// TestProberReadmitsRestartedWorker: a quarantined worker is re-admitted
+// by the background prober — without sacrificing a task — once a
+// replacement process answers /v1/health on the same address.
+func TestProberReadmitsRestartedWorker(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the worker is "down"
+
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Addrs: []string{addr}, Slots: 1,
+		MinSamples:        1,
+		ProbeInterval:     20 * time.Millisecond,
+		ProbeBackoffCap:   200 * time.Millisecond,
+		ProbeTimeout:      500 * time.Millisecond,
+		DisableHedging:    true,
+		MaxDispatchRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	spec, err := workload.ByName("Fib-G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TargetInstr /= 8
+	cs := experiments.CellSpec{Workload: spec, Config: sim.KindNL, Mode: lukewarm.Interleaved}
+	if _, err := coord.Remote()(context.Background(), cs, experiments.CellEnv{}); err == nil {
+		t.Fatal("cell against a dead fleet succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Health().Quarantines == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if coord.Health().Quarantines == 0 {
+		t.Fatal("dead worker was never quarantined")
+	}
+
+	// The worker "restarts" on its old address.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: NewWorker().Handler()}
+	go srv.Serve(ln2)
+	defer srv.Close()
+
+	for !coord.WorkersHealthy() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !coord.WorkersHealthy() {
+		t.Fatal("restarted worker was never re-admitted by the prober")
+	}
+	h := coord.Health()
+	if h.Readmits < 1 || h.Probes < 1 {
+		t.Errorf("readmits = %d, probes = %d, want both >= 1", h.Readmits, h.Probes)
+	}
+	if _, err := coord.Remote()(context.Background(), cs, experiments.CellEnv{}); err != nil {
+		t.Errorf("cell after re-admission failed: %v", err)
+	}
+}
+
+// TestSupervisorRestartsWorker SIGKILLs a supervised worker process and
+// expects a replacement serving /v1/health on the same address.
+func TestSupervisorRestartsWorker(t *testing.T) {
+	s, err := StartSupervisor(SupervisorOptions{
+		Workers:        1,
+		Command:        testWorkerCommand(t),
+		RestartBackoff: 20 * time.Millisecond,
+		Log:            func(format string, args ...any) { t.Logf("supervisor: "+format, args...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr := s.Addrs()[0]
+
+	healthy := func() bool {
+		resp, err := http.Get("http://" + addr + PathHealth)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	if !healthy() {
+		t.Fatal("fresh worker does not answer health")
+	}
+	if err := s.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !healthy() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healthy() {
+		t.Fatal("killed worker never came back on its address")
+	}
+	if s.Restarts() < 1 {
+		t.Errorf("restarts = %d, want >= 1", s.Restarts())
 	}
 }

@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ignite/internal/obs"
+)
+
+// SupervisorOptions configures a local worker fleet supervisor.
+type SupervisorOptions struct {
+	// Workers is the fleet size. Required, positive.
+	Workers int
+	// Command builds the process for a worker that must listen on addr. The
+	// default re-executes the current binary with `-worker -listen <addr>`
+	// plus ExtraArgs. Tests and the chaos harness substitute their own
+	// (re-entering the test binary through an env-gated TestMain hook).
+	Command func(addr string) (*exec.Cmd, error)
+	// ExtraArgs are appended to the default command's argument list
+	// (ignored when Command is set).
+	ExtraArgs []string
+	// MaxRestarts bounds consecutive restarts of one worker (default 5). A
+	// worker that stays up StableAfter earns its budget back; one that
+	// crash-loops past the budget is abandoned — the coordinator's breaker
+	// keeps it quarantined and the rest of the fleet absorbs its load.
+	MaxRestarts int
+	// RestartBackoff is the first restart delay, doubling per consecutive
+	// restart up to BackoffCap (defaults 200ms, 5s).
+	RestartBackoff time.Duration
+	BackoffCap     time.Duration
+	// StableAfter is the uptime after which a worker's consecutive-restart
+	// count resets (default 30s).
+	StableAfter time.Duration
+	// DrainTimeout bounds Close's wait for SIGTERM'd workers to drain
+	// before SIGKILL (default 10s).
+	DrainTimeout time.Duration
+	// Log receives supervisor events (default: stderr).
+	Log func(format string, args ...any)
+}
+
+func (o SupervisorOptions) withDefaults() (SupervisorOptions, error) {
+	if o.Workers <= 0 {
+		return o, fmt.Errorf("dist: supervisor needs a positive worker count")
+	}
+	if o.Command == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return o, fmt.Errorf("dist: locate executable: %w", err)
+		}
+		extra := o.ExtraArgs
+		o.Command = func(addr string) (*exec.Cmd, error) {
+			return exec.Command(exe, append([]string{"-worker", "-listen", addr}, extra...)...), nil
+		}
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 5
+	}
+	if o.RestartBackoff <= 0 {
+		o.RestartBackoff = 200 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 5 * time.Second
+	}
+	if o.StableAfter <= 0 {
+		o.StableAfter = 30 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.Log == nil {
+		o.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "supervisor: "+format+"\n", args...)
+		}
+	}
+	return o, nil
+}
+
+// Supervisor spawns and babysits a fleet of local worker processes: each
+// worker that exits (crash, OOM, SIGKILL chaos) is restarted on its
+// original address with capped exponential backoff, so the coordinator's
+// addresses stay stable across restarts and its prober re-admits the
+// worker as soon as the replacement answers /v1/health. The first spawn
+// binds port 0; the kernel-picked port becomes the worker's permanent
+// address (rebinding it immediately works — Go listeners set
+// SO_REUSEADDR).
+type Supervisor struct {
+	opts  SupervisorOptions
+	addrs []string
+
+	mu       sync.Mutex
+	procs    []*exec.Cmd
+	stopping bool
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+
+	restarts obs.Counter
+	gaveUp   obs.Counter
+}
+
+// StartSupervisor spawns the fleet and its monitors. Close stops both.
+func StartSupervisor(opts SupervisorOptions) (*Supervisor, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		opts:  opts,
+		procs: make([]*exec.Cmd, opts.Workers),
+		stopc: make(chan struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		cmd, addr, err := s.spawn("127.0.0.1:0")
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dist: worker %d: %w", i, err)
+		}
+		s.procs[i] = cmd
+		s.addrs = append(s.addrs, addr)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.monitor(i)
+	}
+	return s, nil
+}
+
+// Addrs returns the fleet's stable worker addresses (valid across
+// restarts).
+func (s *Supervisor) Addrs() []string { return append([]string(nil), s.addrs...) }
+
+// Restarts returns how many worker restarts the supervisor has performed.
+func (s *Supervisor) Restarts() uint64 { return s.restarts.Value() }
+
+// RegisterMetrics exports the supervisor's counters on reg.
+func (s *Supervisor) RegisterMetrics(reg *obs.Registry) {
+	l := obs.L("component", "dist")
+	reg.CounterFunc("dist.worker_restarts", l, s.restarts.Value)
+	reg.CounterFunc("dist.workers_abandoned", l, s.gaveUp.Value)
+}
+
+// Kill SIGKILLs worker i's current process — the chaos harness's murder
+// weapon. The monitor notices and restarts it.
+func (s *Supervisor) Kill(i int) error {
+	s.mu.Lock()
+	cmd := s.procs[i]
+	s.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("dist: worker %d has no live process", i)
+	}
+	return cmd.Process.Kill()
+}
+
+// Close stops restarting, SIGTERMs the fleet (workers drain in-flight
+// tasks), and reaps every process — SIGKILL after DrainTimeout.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return
+	}
+	s.stopping = true
+	close(s.stopc)
+	procs := append([]*exec.Cmd(nil), s.procs...)
+	s.mu.Unlock()
+	for _, p := range procs {
+		if p != nil && p.Process != nil {
+			p.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.opts.DrainTimeout):
+		s.mu.Lock()
+		procs = append(procs[:0], s.procs...)
+		s.mu.Unlock()
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		<-done
+	}
+	// Monitors exited before any initial-spawn failure path reaped; reap
+	// stragglers started but never monitored.
+	for _, p := range procs {
+		if p != nil {
+			p.Wait()
+		}
+	}
+}
+
+// spawn starts one worker process listening on addr and waits for its
+// ready line. Returns the command and the resolved address.
+func (s *Supervisor) spawn(addr string) (*exec.Cmd, string, error) {
+	cmd, err := s.opts.Command(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", fmt.Errorf("worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("spawn worker: %w", err)
+	}
+	got, err := readReadyLine(out)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, "", err
+	}
+	return cmd, got, nil
+}
+
+// monitor owns worker i's lifecycle: it reaps each exit and decides
+// whether to restart. A worker that stays up StableAfter earns a fresh
+// restart budget; one that crash-loops past MaxRestarts is abandoned.
+func (s *Supervisor) monitor(i int) {
+	defer s.wg.Done()
+	addr := s.addrs[i]
+	consecutive := 0
+	for {
+		s.mu.Lock()
+		cmd := s.procs[i]
+		s.mu.Unlock()
+		start := time.Now()
+		werr := cmd.Wait()
+		s.mu.Lock()
+		stopping := s.stopping
+		s.mu.Unlock()
+		if stopping {
+			return
+		}
+		if time.Since(start) >= s.opts.StableAfter {
+			consecutive = 0
+		}
+		for {
+			if consecutive >= s.opts.MaxRestarts {
+				s.opts.Log("worker %d (%s) burned its %d-restart budget; abandoning it", i, addr, s.opts.MaxRestarts)
+				s.gaveUp.Inc()
+				return
+			}
+			consecutive++
+			backoff := s.opts.RestartBackoff << (consecutive - 1)
+			if backoff > s.opts.BackoffCap || backoff <= 0 {
+				backoff = s.opts.BackoffCap
+			}
+			s.opts.Log("worker %d (%s) exited (%v); restart %d/%d in %v",
+				i, addr, werr, consecutive, s.opts.MaxRestarts, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-s.stopc:
+				return
+			}
+			newCmd, _, err := s.spawn(addr)
+			if err != nil {
+				werr = err
+				continue
+			}
+			s.restarts.Inc()
+			s.mu.Lock()
+			if s.stopping {
+				s.mu.Unlock()
+				newCmd.Process.Signal(syscall.SIGTERM)
+				newCmd.Wait()
+				return
+			}
+			s.procs[i] = newCmd
+			s.mu.Unlock()
+			break
+		}
+	}
+}
+
+func readReadyLine(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ReadyPrefix) {
+			// Keep draining stdout in the background so the worker never
+			// blocks on a full pipe.
+			go io.Copy(io.Discard, r)
+			return strings.TrimSpace(strings.TrimPrefix(line, ReadyPrefix)), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("worker exited before printing ready line")
+}

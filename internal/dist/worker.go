@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"ignite/internal/experiments"
+	"ignite/internal/faults"
 	"ignite/internal/obs"
 )
 
@@ -42,11 +43,16 @@ func NewWorker() *Worker {
 	return &Worker{cache: experiments.NewCellCache()}
 }
 
-// Drain flips the worker into shutdown mode: new tasks are refused with a
-// retryable shutting-down envelope (the coordinator re-runs them
-// elsewhere) and Drain blocks until in-flight tasks finish.
-func (w *Worker) Drain() {
+// BeginDrain flips the worker into shutdown mode without waiting: new
+// tasks are refused with a retryable shutting-down envelope (the
+// coordinator re-runs them elsewhere) while in-flight tasks keep running.
+func (w *Worker) BeginDrain() {
 	w.draining.Store(true)
+}
+
+// Drain begins draining and blocks until in-flight tasks finish.
+func (w *Worker) Drain() {
+	w.BeginDrain()
 	w.wg.Wait()
 }
 
@@ -154,6 +160,14 @@ func RunWorker(ctx context.Context, addr string) error {
 	if err != nil {
 		return fmt.Errorf("dist: worker listen %s: %w", addr, err)
 	}
+	// Honor listener-level network chaos (conn-reset@net/<addr>/accept) from
+	// the same IGNITE_FAULTS gate the cell faults use, so a spawned fleet
+	// inherits the chaos plan through the environment.
+	plan, err := faults.FromEnvSpec(os.Getenv(faults.EnvVar))
+	if err != nil {
+		return fmt.Errorf("dist: worker faults: %w", err)
+	}
+	ln = faults.WrapListener(plan, ln)
 	srv := &http.Server{Handler: w.Handler()}
 	fmt.Printf("%s%s\n", ReadyPrefix, ln.Addr().String())
 	errc := make(chan error, 1)

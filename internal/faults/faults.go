@@ -43,6 +43,23 @@ const (
 	// KindCorrupt corrupts the cell's persisted journal record —
 	// exercises crash-safe resume's corruption detection.
 	KindCorrupt Kind = "corrupt"
+
+	// Network fault kinds fire at the transport boundary (see Transport and
+	// WrapListener in net.go), never at cell sites: their rule sites are
+	// net/<host>/<endpoint> instead of exp/workload/config.
+
+	// KindConnReset fails the connection as if the peer reset it —
+	// exercises the coordinator's failover and the breaker's quarantine.
+	KindConnReset Kind = "conn-reset"
+	// KindSlowNet delays the request by the rule's delay before letting it
+	// through — exercises hedged dispatch and probe timeouts.
+	KindSlowNet Kind = "slow-net"
+	// KindTruncatedBody cuts the response body short mid-stream —
+	// exercises the coordinator's read-error retry path.
+	KindTruncatedBody Kind = "truncated-body"
+	// KindGarbageJSON replaces the response body with non-JSON bytes —
+	// exercises the decode/CRC rejection path.
+	KindGarbageJSON Kind = "garbage-json"
 )
 
 // Site identifies one injection point: a (workload, config) cell inside an
@@ -135,14 +152,21 @@ func New(seed uint64) *Plan {
 // "*", and the options are trips=N (default 1), delay=DUR (slow faults,
 // default 250ms), and rate=F in (0,1] (seeded-hash site selection).
 func (p *Plan) Add(spec string) error {
-	head, optStr, hasOpts := strings.Cut(spec, ":")
+	// Options are cut at the last ':' whose tail is key=val shaped — not the
+	// first — because network sites legitimately contain colons
+	// (conn-reset@net/127.0.0.1:9000/accept:trips=1).
+	head, optStr, hasOpts := spec, "", false
+	if i := strings.LastIndexByte(spec, ':'); i >= 0 && strings.Contains(spec[i+1:], "=") {
+		head, optStr, hasOpts = spec[:i], spec[i+1:], true
+	}
 	kindStr, siteStr, ok := strings.Cut(head, "@")
 	if !ok {
 		return fmt.Errorf("faults: rule %q: want kind@exp/workload/config", spec)
 	}
 	r := rule{kind: Kind(kindStr), trips: 1, delay: 250 * time.Millisecond}
 	switch r.kind {
-	case KindPanic, KindTransient, KindSlow, KindCorrupt:
+	case KindPanic, KindTransient, KindSlow, KindCorrupt,
+		KindConnReset, KindSlowNet, KindTruncatedBody, KindGarbageJSON:
 	default:
 		return fmt.Errorf("faults: rule %q: unknown kind %q", spec, kindStr)
 	}

@@ -1,0 +1,237 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Network fault injection: the same kind@scope rule grammar and trip
+// bookkeeping as cell faults, fired at the process boundary instead of the
+// cell site. A network rule's site is
+//
+//	kind@net/<host>/<endpoint>
+//
+// where <host> is the remote host:port (client side) or the listener's
+// local address (server side) and <endpoint> is the last path segment of
+// the request URL ("task", "health") — or "accept" for listener-level
+// faults. Each component accepts the usual "*" wildcard, and trips/delay/
+// rate options apply unchanged, so
+//
+//	IGNITE_FAULTS='conn-reset@net/*/task:trips=2;slow-net@net/*/*:delay=150ms'
+//
+// resets the first two task calls per worker and slows every request.
+
+// NetExperiment is the Site.Experiment value of every network fault site,
+// keeping net rules disjoint from cell rules under one grammar.
+const NetExperiment = "net"
+
+// netKinds are the kinds Transport and WrapListener fire.
+var netKinds = []Kind{KindConnReset, KindSlowNet, KindTruncatedBody, KindGarbageJSON}
+
+// NetSite derives the injection site of an outbound HTTP request.
+func NetSite(req *http.Request) Site {
+	endpoint := req.URL.Path
+	if i := strings.LastIndexByte(endpoint, '/'); i >= 0 {
+		endpoint = endpoint[i+1:]
+	}
+	return Site{Experiment: NetExperiment, Workload: req.URL.Host, Config: endpoint}
+}
+
+// HasNetRules reports whether the plan arms any network fault kind — CLIs
+// use it to decide whether wrapping transports/listeners is worth it.
+// Nil-safe.
+func (p *Plan) HasNetRules() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		for _, k := range netKinds {
+			if r.kind == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FireNet consumes the armed network fault (if any) for the site, returning
+// its kind and delay. Nil receiver and no-match return ok=false, so callers
+// can fire unconditionally.
+func (p *Plan) FireNet(s Site) (kind Kind, delay time.Duration, ok bool) {
+	if p == nil {
+		return "", 0, false
+	}
+	r, ok := p.fire(s, netKinds...)
+	if !ok {
+		return "", 0, false
+	}
+	return r.kind, r.delay, true
+}
+
+// connResetError is the injected peer-reset failure. It reports itself as a
+// net.Error (non-timeout), matching what a real RST surfaces through
+// net/http.
+type connResetError struct{ site Site }
+
+func (e *connResetError) Error() string {
+	return fmt.Sprintf("faults: injected connection reset at %s", e.site)
+}
+func (e *connResetError) Timeout() bool   { return false }
+func (e *connResetError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with deterministic network fault
+// injection. A nil Plan (or one without net rules) passes every request
+// through untouched, so the wrapper is safe to install unconditionally.
+type Transport struct {
+	Base http.RoundTripper
+	Plan *Plan
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with plan's network
+// faults. Returns base unchanged when the plan arms no net rules.
+func NewTransport(plan *Plan, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if !plan.HasNetRules() {
+		return base
+	}
+	return &Transport{Base: base, Plan: plan}
+}
+
+// RoundTrip fires at most one armed network fault for the request's site:
+// conn-reset fails before any bytes move, slow-net delays then forwards,
+// truncated-body and garbage-json forward the request and damage the
+// response body on the way back.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := NetSite(req)
+	kind, delay, ok := t.Plan.FireNet(s)
+	if !ok {
+		return t.Base.RoundTrip(req)
+	}
+	switch kind {
+	case KindConnReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: &connResetError{site: s}}
+	case KindSlowNet:
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.Base.RoundTrip(req)
+	case KindTruncatedBody:
+		resp, err := t.Base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: truncateAfter(resp.ContentLength)}
+		return resp, nil
+	case KindGarbageJSON:
+		resp, err := t.Base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		garbage := []byte(`{"faults":"injected garbage body at ` + s.String() + `"`)
+		resp.Body = io.NopCloser(bytes.NewReader(garbage))
+		resp.ContentLength = int64(len(garbage))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.Base.RoundTrip(req)
+}
+
+// truncateAfter picks how many body bytes to deliver before the injected
+// cut: half the declared length, or a small fixed prefix when the length is
+// unknown — enough that the client has committed to reading the body.
+func truncateAfter(contentLength int64) int64 {
+	if contentLength > 1 {
+		return contentLength / 2
+	}
+	return 64
+}
+
+// truncatedBody delivers the first remaining bytes of rc, then fails with
+// io.ErrUnexpectedEOF — the shape of a connection dropped mid-response.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		// The upstream body ended before the cut — truncation still must
+		// look like damage, not a clean end.
+		err = io.ErrUnexpectedEOF
+	}
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// faultyListener injects faults as connections are accepted.
+type faultyListener struct {
+	net.Listener
+	plan *Plan
+}
+
+// WrapListener wraps ln with plan's listener-level network faults: a
+// conn-reset rule for site net/<local-addr>/accept closes the accepted
+// connection immediately (the peer sees a reset), slow-net delays the
+// accept. Plans without net rules return ln unchanged; nil-safe.
+func WrapListener(plan *Plan, ln net.Listener) net.Listener {
+	if !plan.HasNetRules() {
+		return ln
+	}
+	return &faultyListener{Listener: ln, plan: plan}
+}
+
+func (l *faultyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		s := Site{Experiment: NetExperiment, Workload: l.Addr().String(), Config: "accept"}
+		kind, delay, ok := l.plan.FireNet(s)
+		if !ok {
+			return c, nil
+		}
+		switch kind {
+		case KindConnReset:
+			if tc, okc := c.(*net.TCPConn); okc {
+				tc.SetLinger(0) // RST, not FIN
+			}
+			c.Close()
+			continue // the injected reset eats this conn; keep serving
+		case KindSlowNet:
+			time.Sleep(delay)
+			return c, nil
+		default:
+			// Body-level kinds are client-side; at the listener they
+			// degrade to pass-through.
+			return c, nil
+		}
+	}
+}

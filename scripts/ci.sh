@@ -151,6 +151,60 @@ go test -race ./internal/dist
        <(grep -v '"generated"' dist-warm/fig1.json)
 )
 
+# Self-healing smoke: the same sweep on a supervised fleet with a worker
+# SIGKILLed mid-run. The supervisor must resurrect the victim on its old
+# address, the prober re-admit it, and the run still exit 0 with a document
+# byte-identical (modulo the generation timestamp) to the single-process
+# baseline and a store that reseals to the same Merkle root warm. The named
+# -race passes keep the breaker/prober/hedge/supervisor paths and the full
+# chaos harness visible on their own.
+go test -race -run 'TestSupervisorRestartsWorker|TestProberReadmitsRestartedWorker|TestHedgedDispatch|TestTaskCancelNotWorkerFault|TestWorkerDrainShedsInFlightFailover' \
+  ./internal/dist
+go test -race -run 'TestChaosSweepByteIdentical' -timeout 10m ./internal/chaos
+(
+  cd "$smoke"
+  # All 20 workloads (40 cells, a few seconds of sweep) so the SIGKILL
+  # reliably lands mid-run; the single-process baseline uses the same
+  # manifest-visible flags.
+  ./ignite-bench \
+    -exp fig1 -target-instr 100000 -parallel 2 \
+    -out chaos-base >/dev/null
+  ./ignite-bench \
+    -exp fig1 -target-instr 100000 -parallel 2 \
+    -spawn-workers 2 -store chaos-store -out chaos-cold >/dev/null 2>chaos-cold.log &
+  bench_pid=$!
+  # SIGKILL one spawned worker shortly after it appears: exact process
+  # name plus a -worker argv check, so neither the coordinating bench nor
+  # any shell whose command line merely mentions the pattern can be the
+  # victim.
+  victim=""
+  for _ in $(seq 100); do
+    for pid in $(pgrep -x ignite-bench || true); do
+      if tr '\0' ' ' <"/proc/$pid/cmdline" 2>/dev/null | grep -q -- '-worker -listen'; then
+        victim="$pid"
+        break 2
+      fi
+    done
+    sleep 0.05
+  done
+  test -n "$victim"
+  sleep 0.5
+  kill -KILL "$victim"
+  wait "$bench_pid"   # non-zero (a lost cell) fails the build via set -e
+  grep -q 'store: sealed 40 record' chaos-cold.log
+  grep -Eq 'dist: [1-9][0-9]* worker restart' chaos-cold.log
+  diff <(grep -v '"generated"' chaos-base/fig1.json) \
+       <(grep -v '"generated"' chaos-cold/fig1.json)
+  root_cold="$(sed -n 's/.*merkle root \([0-9a-f]*\).*/\1/p' chaos-cold.log)"
+  ./ignite-bench \
+    -exp fig1 -target-instr 100000 -parallel 2 \
+    -store chaos-store -out chaos-warm >/dev/null 2>chaos-warm.log
+  grep -q 'store: 40 hit(s)' chaos-warm.log
+  root_warm="$(sed -n 's/.*merkle root \([0-9a-f]*\).*/\1/p' chaos-warm.log)"
+  test -n "$root_cold"
+  test "$root_cold" = "$root_warm"
+)
+
 # Resume smoke: a journaled run, then a second run resumed from that journal
 # into a different output dir — the exported documents must match except for
 # the generation timestamp.
@@ -166,4 +220,4 @@ go test -race ./internal/dist
        <(grep -v '"generated"' resume-b/fig1.json)
 )
 
-echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, fleet smoke, dist smoke, resume)"
+echo "ci: ok (build, vet, race tests, examples, JSON export, checked smoke, bench smoke, batching race pass, mutation smoke, chaos, serve smoke, fleet smoke, dist smoke, self-healing smoke, resume)"
